@@ -1,0 +1,34 @@
+"""Benchmark-harness configuration.
+
+Each benchmark file regenerates one table or figure of the paper's
+evaluation.  ``pytest-benchmark`` measures the wall-clock cost of the
+experiment; the experiment's formatted result (paper vs. measured) is
+printed so a ``pytest benchmarks/ --benchmark-only`` run doubles as the
+reproduction report that EXPERIMENTS.md is built from.
+
+Scene evaluation contexts are cached per process (see
+``repro.analysis.context``), so the first benchmark that touches a scene
+pays its construction cost and later benchmarks reuse it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # A single measured round per benchmark: each experiment is deterministic
+    # and expensive, so statistical repetition adds nothing.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False
+
+
+@pytest.fixture
+def report_result():
+    """Print an experiment's formatted result after the benchmark."""
+
+    def _print(title: str, text: str) -> None:
+        banner = "=" * max(len(title), 20)
+        print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+    return _print

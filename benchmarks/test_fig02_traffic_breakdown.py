@@ -1,0 +1,18 @@
+"""Fig. 2 — DRAM traffic proportion across the tile-centric pipeline stages.
+
+Paper claims: projection and sorting together account for ~90 % of the
+tile-centric pipeline's DRAM traffic and the intermediate (inter-stage)
+data accounts for 85 % of the total.
+"""
+
+from repro.analysis.characterization import run_fig2
+
+
+def test_fig2_traffic_breakdown(benchmark, report_result):
+    result = benchmark(run_fig2)
+    report_result("Fig. 2 — tile-centric DRAM traffic breakdown", result.format())
+
+    # Shape checks mirroring the paper's claims.
+    assert result.mean_share("projection") + result.mean_share("sorting") > 0.8
+    assert result.mean_share("rendering") < 0.2
+    assert result.intermediate_fraction > 0.6

@@ -1,0 +1,19 @@
+"""Fig. 4 — DRAM bandwidth required to reach 90 FPS with tile-centric 3DGS.
+
+Paper claims: for real-world scenes the demand exceeds the Orin NX's
+102.4 GB/s bandwidth limit, making real-time rendering impossible on the
+memory system alone; synthetic scenes stay below the limit.
+"""
+
+from repro.analysis.characterization import run_fig4
+
+
+def test_fig4_bandwidth_requirement(benchmark, report_result):
+    result = benchmark(run_fig4)
+    report_result("Fig. 4 — bandwidth needed for 90 FPS", result.format())
+
+    for scene, category in zip(result.scenes, result.categories):
+        if category == "real":
+            assert result.exceeds_limit(scene), f"{scene} should exceed the limit"
+        else:
+            assert not result.exceeds_limit(scene), f"{scene} should stay below the limit"

@@ -1,0 +1,24 @@
+"""Fig. 7 — error-Gaussian ratio and PSNR during boundary-aware fine-tuning.
+
+Paper claims (train scene): over 3 000 fine-tuning iterations the fraction
+of Gaussians rendered with incorrect depth order drops from 2.3 % to 0.4 %
+while the streaming render's PSNR recovers from 21.37 dB to 22.61 dB.
+
+Our simulated scenes use thousands (not millions) of Gaussians, so the
+absolute error ratio is higher; the benchmark asserts the *direction* of
+both curves (error ratio falls, quality does not degrade).
+"""
+
+from repro.analysis.quality import run_fig7
+
+
+def test_fig7_boundary_finetune(benchmark, report_result):
+    result = benchmark.pedantic(
+        run_fig7, kwargs=dict(iterations=2000, probe_every=500), rounds=1, iterations=1
+    )
+    report_result("Fig. 7 — boundary-aware fine-tuning", result.format())
+
+    assert result.error_ratio[-1] <= result.error_ratio[0]
+    # Quality must not collapse; it should end within 1 dB of where it
+    # started (the paper shows it improving).
+    assert result.quality_psnr[-1] > result.quality_psnr[0] - 1.0

@@ -1,0 +1,38 @@
+"""Fig. 11 — end-to-end speedup and energy savings over the mobile GPU.
+
+Paper claims (averaged over its four datasets, original 3DGS): the full
+STREAMINGGS design achieves 45.7x speedup and 62.9x energy savings over the
+Orin NX, versus 21.6x / ~27x for GSCore — i.e. 2.1x faster and 2.3x more
+energy-efficient than the state-of-the-art accelerator.  Removing the
+coarse-grained filter costs about half the speedup, while removing VQ has
+little effect on speed (it is an energy optimisation).
+"""
+
+from repro.analysis.performance import run_fig11
+
+
+def test_fig11_speedup_and_energy(benchmark, report_result):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    report_result("Fig. 11 — speedup and energy savings", result.format())
+
+    full_speedup = result.mean_speedup("streaminggs")
+    gscore_speedup = result.mean_speedup("gscore")
+    wo_cgf_speedup = result.mean_speedup("wo_cgf")
+    wo_vq_cgf_speedup = result.mean_speedup("wo_vq_cgf")
+
+    # Headline orderings of the paper.
+    assert full_speedup > gscore_speedup > 1.0
+    assert full_speedup > wo_cgf_speedup
+    # VQ has minimal impact on performance (Sec. V-C).
+    assert abs(wo_cgf_speedup - wo_vq_cgf_speedup) / wo_cgf_speedup < 0.25
+    # An order of magnitude over the GPU, roughly 2x over GSCore.
+    assert full_speedup > 10.0
+    assert 1.5 < result.streaming_vs_gscore_speedup() < 4.0
+
+    full_energy = result.mean_energy_savings("streaminggs")
+    gscore_energy = result.mean_energy_savings("gscore")
+    assert full_energy > gscore_energy > 1.0
+    assert full_energy > 10.0
+    assert result.streaming_vs_gscore_energy() > 1.5
+    # Removing VQ costs energy.
+    assert result.mean_energy_savings("wo_cgf") > result.mean_energy_savings("wo_vq_cgf")

@@ -1,0 +1,30 @@
+"""Fig. 12 — sensitivity of energy efficiency and quality to the voxel size.
+
+Paper claims (train scene): shrinking the voxel from 2.0 to 0.5 costs about
+0.8 dB of quality (more cross-boundary Gaussians), while growing it beyond
+2.0 yields little additional quality but hurts energy efficiency (more
+irrelevant Gaussians are streamed per voxel); 2.0 is the sweet spot.
+"""
+
+import numpy as np
+
+from repro.analysis.sensitivity import run_fig12
+
+
+def test_fig12_voxel_size_sensitivity(benchmark, report_result):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    report_result("Fig. 12 — voxel-size sensitivity (train)", result.format())
+
+    sizes = np.array(result.voxel_sizes)
+    psnr = np.array(result.psnr)
+    energy = np.array(result.energy_savings)
+
+    # Quality trends upward with voxel size (fewer cross-boundary Gaussians).
+    small = psnr[sizes <= 1.0].mean()
+    large = psnr[sizes >= 2.0].mean()
+    assert large >= small - 0.3
+    # Energy savings do not improve for the largest voxels (more irrelevant
+    # Gaussians streamed per voxel).
+    assert energy[sizes >= 2.5].mean() <= energy[sizes <= 2.0].max() * 1.05
+    # All configurations remain far more efficient than the GPU.
+    assert energy.min() > 5.0

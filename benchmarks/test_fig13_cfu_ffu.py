@@ -1,0 +1,24 @@
+"""Fig. 13 — sensitivity of the speedup to the CFU / FFU counts per HFU.
+
+Paper claims (train scene): increasing the number of coarse-grained filter
+units consistently boosts the speedup (20.6x at 1 CFU to 46.8x at 4 CFUs),
+while adding fine-grained filter units beyond the CFU count yields no
+speedup; 4 CFUs + 1 FFU is the chosen design point.
+"""
+
+from repro.analysis.sensitivity import run_fig13
+
+
+def test_fig13_cfu_ffu_sensitivity(benchmark, report_result):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    report_result("Fig. 13 — CFU/FFU sensitivity (train)", result.format())
+
+    # More CFUs never hurt and help substantially from 1 to 4.
+    assert result.value(4, 1) > result.value(1, 1) * 1.3
+    for num_ffu in result.ffus:
+        assert result.value(4, num_ffu) >= result.value(1, num_ffu)
+    # Adding FFUs beyond the CFU count yields (almost) no speedup.
+    assert result.value(4, 4) <= result.value(4, 1) * 1.15
+    assert result.value(1, 4) <= result.value(1, 1) * 1.15
+    # Larger configurations cost area.
+    assert result.area_mm2[4][4] > result.area_mm2[1][1]

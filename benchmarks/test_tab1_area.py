@@ -1,0 +1,23 @@
+"""Table I — accelerator configuration and area breakdown at 32 nm.
+
+Paper claims: 5.37 mm^2 total (0.06 VSU, 0.79 HFUs, 0.04 sorting units,
+2.53 rendering units, 1.95 SRAM), comparable to GSCore's 5.53 mm^2.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.arch.area import GSCORE_AREA_MM2, AreaModel
+
+
+def test_tab1_area_breakdown(benchmark, report_result):
+    breakdown = benchmark(lambda: AreaModel().table1())
+    rows = [[name, f"{area:.3f}"] for name, area in breakdown.as_rows()]
+    report_result(
+        "Table I — configuration and area",
+        format_table(["component", "area (mm^2)"], rows),
+    )
+
+    assert breakdown.total_mm2 == pytest.approx(5.37, abs=0.05)
+    assert breakdown.components["sram"] == pytest.approx(1.95, abs=0.01)
+    assert abs(breakdown.total_mm2 - GSCORE_AREA_MM2) / GSCORE_AREA_MM2 < 0.1

@@ -1,0 +1,82 @@
+"""Real-world scene walkthrough: the 'truck' scene end to end.
+
+Run with::
+
+    python examples/real_world_scene.py
+
+This follows the paper's evaluation flow for one Tanks&Temples-style scene:
+
+1. build the procedural reference scene and calibrate a "trained" model to
+   the paper's reported PSNR (Table II);
+2. render it with the streaming pipeline and collect the workload;
+3. scale the workload to paper-scale statistics and evaluate the Orin NX
+   GPU, GSCore and STREAMINGGS hardware models on it (Fig. 3/4/11).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.context import get_scene_context
+from repro.arch.accelerator import AcceleratorConfig, StreamingGSAccelerator
+from repro.arch.gpu import OrinNXModel
+from repro.arch.gscore import GSCoreModel
+from repro.arch.traffic import tile_centric_traffic
+
+
+def main() -> None:
+    scene = "truck"
+    context = get_scene_context(scene)
+    descriptor = context.descriptor
+    workload = context.workload
+
+    print(f"Scene: {scene} ({descriptor.dataset})")
+    print(f"  full-scale Gaussians : {descriptor.full_num_gaussians:,}")
+    print(f"  native resolution    : {descriptor.full_resolution}")
+    print(f"  baseline PSNR        : {context.baseline_psnr:.2f} dB "
+          f"(paper: {descriptor.target_psnr['3dgs']:.2f})")
+    print(f"  streaming PSNR       : {context.streaming_psnr:.2f} dB")
+
+    print("\nPaper-scale per-frame workload")
+    print(f"  visible Gaussians    : {workload.visible_gaussians:,.0f}")
+    print(f"  (Gaussian, tile) pairs: {workload.num_pairs:,.0f}")
+    print(f"  Gaussians streamed   : {workload.gaussians_streamed:,.0f}")
+    print(f"  filtering reduction  : {100 * workload.filtering_reduction:.1f}%")
+
+    tile_traffic = tile_centric_traffic(workload)
+    print("\nTile-centric DRAM traffic per frame")
+    for stage, size in tile_traffic.breakdown().items():
+        print(f"  {stage:<11}: {size / 1e6:8.1f} MB")
+    print(f"  bandwidth needed for 90 FPS: "
+          f"{tile_traffic.required_bandwidth(90.0) / 1e9:.1f} GB/s "
+          f"(Orin NX limit: 102.4 GB/s)")
+
+    gpu = OrinNXModel().evaluate(workload)
+    gscore = GSCoreModel().evaluate(workload)
+    full = StreamingGSAccelerator().evaluate(workload)
+    wo_cgf = StreamingGSAccelerator(AcceleratorConfig.variant("wo_cgf")).evaluate(workload)
+
+    print("\nHardware comparison (per frame)")
+    header = f"  {'design':<14}{'time (ms)':>12}{'FPS':>9}{'energy (mJ)':>14}{'DRAM (MB)':>12}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for report in (gpu, gscore, wo_cgf, full):
+        print(
+            f"  {report.name:<14}{report.frame_time_s * 1e3:>12.2f}"
+            f"{report.fps:>9.1f}{report.energy_per_frame_j * 1e3:>14.2f}"
+            f"{report.dram_bytes / 1e6:>12.1f}"
+        )
+
+    print("\nSpeedup / energy savings over the GPU")
+    for report in (gscore, wo_cgf, full):
+        print(
+            f"  {report.name:<14}{report.speedup_over(gpu):>8.1f}x speedup, "
+            f"{report.energy_saving_over(gpu):>7.1f}x energy"
+        )
+    print(
+        f"\nSTREAMINGGS vs GSCore: {full.speedup_over(gscore):.2f}x speedup, "
+        f"{full.energy_saving_over(gscore):.2f}x energy "
+        f"(paper: 2.1x / 2.3x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so editable installs work on environments
+without the ``wheel`` package (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Reproduction of STREAMINGGS (DAC 2025).
+
+Voxel-based streaming 3D Gaussian Splatting with memory optimization and
+architectural support.  The package is organised as:
+
+``repro.gaussians``
+    A from-scratch NumPy implementation of the 3D Gaussian Splatting
+    substrate: Gaussian parameter model, spherical harmonics, cameras, EWA
+    projection, tile binning, depth sorting, and the tile-centric reference
+    rasterizer the paper uses as its algorithmic baseline.
+
+``repro.scenes``
+    Procedural scene generators standing in for the Synthetic-NSVF,
+    Synthetic-NeRF, Tanks&Temples and Deep Blending scenes evaluated in the
+    paper, with per-scene statistics matched to the published workloads.
+
+``repro.variants``
+    The Mini-Splatting and LightGaussian model-compaction algorithms the
+    paper layers its pipeline on top of.
+
+``repro.compression``
+    Vector quantization (k-means codebooks) and quantization-aware
+    fine-tuning used by the customized DRAM data layout (Sec. III-C).
+
+``repro.training``
+    NumPy optimizers and the boundary-aware fine-tuning loss (Sec. III-B).
+
+``repro.core``
+    The paper's primary contribution: the memory-centric, fully streaming
+    voxel renderer — voxel grid, ray/voxel ordering (DAG + topological
+    sort), hierarchical filtering, the two-half DRAM data layout, and the
+    streaming pipeline itself.
+
+``repro.arch``
+    The analytical architecture model: StreamingGS accelerator (VSU, HFU,
+    sorting and rendering units), GSCore and Orin NX GPU baselines, DRAM /
+    SRAM / energy / area models.
+
+``repro.analysis``
+    The experiment harness that regenerates every table and figure in the
+    paper's evaluation section.
+"""
+
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.camera import Camera
+from repro.gaussians.rasterizer import TileRasterizer, RenderOutput
+from repro.core.config import StreamingConfig
+from repro.core.pipeline import StreamingRenderer
+from repro.scenes.registry import SCENE_REGISTRY, build_scene
+from repro.arch.accelerator import StreamingGSAccelerator
+from repro.arch.gpu import OrinNXModel
+from repro.arch.gscore import GSCoreModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GaussianModel",
+    "Camera",
+    "TileRasterizer",
+    "RenderOutput",
+    "StreamingConfig",
+    "StreamingRenderer",
+    "SCENE_REGISTRY",
+    "build_scene",
+    "StreamingGSAccelerator",
+    "OrinNXModel",
+    "GSCoreModel",
+    "__version__",
+]

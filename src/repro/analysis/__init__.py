@@ -1,0 +1,44 @@
+"""Experiment harness: regenerates every table and figure of the evaluation.
+
+Each experiment function returns a small result dataclass holding both the
+measured series/rows and the paper's reported values, so the benchmark
+harness (and EXPERIMENTS.md) can show them side by side.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+* :func:`repro.analysis.characterization.run_fig2` — DRAM traffic breakdown
+* :func:`repro.analysis.characterization.run_fig3` — GPU FPS per scene
+* :func:`repro.analysis.characterization.run_fig4` — bandwidth @ 90 FPS
+* :func:`repro.analysis.quality.run_table2` — rendering quality (PSNR)
+* :func:`repro.analysis.quality.run_fig7` — boundary-aware fine-tuning
+* :func:`repro.analysis.performance.run_fig11` — speedup & energy savings
+* :func:`repro.analysis.sensitivity.run_fig12` — voxel-size sensitivity
+* :func:`repro.analysis.sensitivity.run_fig13` — CFU/FFU sensitivity
+* :func:`repro.analysis.claims.run_supporting_claims` — filtering / VQ claims
+* :func:`repro.arch.area.AreaModel.table1` — Table I (area)
+"""
+
+from repro.analysis.context import SceneContext, get_scene_context, clear_context_cache
+from repro.analysis.characterization import run_fig2, run_fig3, run_fig4
+from repro.analysis.quality import run_table2, run_fig7
+from repro.analysis.performance import run_fig11
+from repro.analysis.sensitivity import run_fig12, run_fig13
+from repro.analysis.claims import run_supporting_claims
+from repro.analysis.report import format_table, format_series
+
+__all__ = [
+    "SceneContext",
+    "get_scene_context",
+    "clear_context_cache",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_table2",
+    "run_fig7",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_supporting_claims",
+    "format_table",
+    "format_series",
+]

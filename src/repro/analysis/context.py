@@ -1,0 +1,154 @@
+"""Cached per-scene evaluation contexts.
+
+Building a scene context is the expensive part of every experiment: it
+instantiates the procedural scene, applies the base algorithm
+(3DGS / Mini-Splatting / LightGaussian), calibrates the "trained" model to
+the paper's PSNR for that (scene, algorithm) pair, renders the tile-centric
+reference, runs the streaming pipeline and derives the paper-scale workload.
+Contexts are memoised per (scene, algorithm, voxel size, resolution scale)
+so the figure/table experiments and the benchmark suite share them within a
+process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.arch.workload import FullScaleWorkload, build_workload
+from repro.core.config import StreamingConfig
+from repro.core.pipeline import StreamingRenderer, StreamingRenderOutput
+from repro.gaussians.camera import Camera
+from repro.gaussians.metrics import psnr
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.rasterizer import RenderOutput, TileRasterizer
+from repro.scenes.fitting import FittedScene, fit_trained_model
+from repro.scenes.registry import (
+    SCENE_REGISTRY,
+    SceneDescriptor,
+    build_scene,
+    default_eval_camera,
+)
+from repro.variants.base import get_algorithm
+
+
+@dataclass
+class SceneContext:
+    """Everything the experiments need for one (scene, algorithm) pair."""
+
+    descriptor: SceneDescriptor
+    algorithm: str
+    camera: Camera
+    reference: GaussianModel
+    trained: GaussianModel
+    ground_truth: "object"                 # (H, W, 3) ndarray
+    baseline_psnr: float                   # tile-centric PSNR of the trained model
+    tile_output: RenderOutput
+    streaming_config: StreamingConfig
+    streaming_renderer: StreamingRenderer
+    streaming_output: StreamingRenderOutput
+    streaming_psnr: float
+    workload: FullScaleWorkload
+
+    @property
+    def scene(self) -> str:
+        return self.descriptor.name
+
+
+def _build_context(
+    scene: str,
+    algorithm: str,
+    voxel_size: float,
+    resolution_scale: float,
+) -> SceneContext:
+    descriptor = SCENE_REGISTRY[scene]
+    camera = default_eval_camera(scene, resolution_scale=resolution_scale)
+    reference = build_scene(scene)
+
+    algo = get_algorithm(algorithm)
+    reference_variant = algo.transform(reference, cameras=[camera])
+
+    target = descriptor.target_psnr.get(algorithm, descriptor.target_psnr["3dgs"])
+    rasterizer = TileRasterizer()
+    fitted: FittedScene = fit_trained_model(
+        reference_variant, camera, target_psnr=target, rasterizer=rasterizer
+    )
+    trained = fitted.trained
+    ground_truth = fitted.ground_truth
+
+    tile_output = rasterizer.render(trained, camera)
+    baseline_psnr = psnr(ground_truth, tile_output.image)
+
+    effective_voxel = voxel_size if voxel_size > 0 else descriptor.default_voxel_size
+    config = StreamingConfig(voxel_size=effective_voxel)
+    streaming_renderer = StreamingRenderer(trained, config)
+    streaming_output = streaming_renderer.render(camera)
+    streaming_psnr = psnr(ground_truth, streaming_output.image)
+
+    workload = build_workload(
+        descriptor=descriptor,
+        tile_stats=tile_output.stats,
+        projected=tile_output.projected,
+        streaming_stats=streaming_output.stats,
+        num_voxels=streaming_renderer.grid.num_voxels,
+        sim_width=camera.width,
+        sim_focal=camera.fx,
+        use_vq=config.use_vq,
+        second_half_bytes_vq=streaming_renderer.layout.second_half_bytes_per_gaussian,
+    )
+    return SceneContext(
+        descriptor=descriptor,
+        algorithm=algorithm,
+        camera=camera,
+        reference=reference_variant,
+        trained=trained,
+        ground_truth=ground_truth,
+        baseline_psnr=baseline_psnr,
+        tile_output=tile_output,
+        streaming_config=config,
+        streaming_renderer=streaming_renderer,
+        streaming_output=streaming_output,
+        streaming_psnr=streaming_psnr,
+        workload=workload,
+    )
+
+
+@lru_cache(maxsize=64)
+def _cached_context(
+    scene: str, algorithm: str, voxel_size: float, resolution_scale: float
+) -> SceneContext:
+    return _build_context(scene, algorithm, voxel_size, resolution_scale)
+
+
+def get_scene_context(
+    scene: str,
+    algorithm: str = "3dgs",
+    voxel_size: Optional[float] = None,
+    resolution_scale: float = 1.0,
+) -> SceneContext:
+    """The memoised evaluation context of one (scene, algorithm) pair.
+
+    Parameters
+    ----------
+    scene:
+        Registered scene name.
+    algorithm:
+        Base algorithm (``3dgs``, ``mini_splatting``, ``light_gaussian``).
+    voxel_size:
+        Streaming voxel size; ``None`` uses the paper's default for the
+        scene's category (2.0 real-world, 0.4 synthetic).
+    resolution_scale:
+        Scale factor on the simulated evaluation resolution (1.0 keeps the
+        registry default).
+    """
+    if scene not in SCENE_REGISTRY:
+        raise KeyError(f"unknown scene {scene!r}")
+    return _cached_context(
+        scene, algorithm, float(voxel_size or 0.0), float(resolution_scale)
+    )
+
+
+def clear_context_cache() -> None:
+    """Drop all memoised contexts (used by tests)."""
+    _cached_context.cache_clear()

@@ -1,0 +1,143 @@
+"""End-to-end performance / energy comparison (Fig. 11).
+
+The figure reports, for each base algorithm (3DGS, Mini-Splatting,
+LightGaussian), the speedup and energy savings over the Orin NX GPU of four
+hardware points: GSCore, the streaming accelerator without VQ and
+coarse-grained filtering, without coarse-grained filtering only, and the
+full STREAMINGGS design.  Numbers are averaged over the evaluation scenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.context import get_scene_context
+from repro.analysis.report import format_table
+from repro.arch.accelerator import AcceleratorConfig, StreamingGSAccelerator
+from repro.arch.gpu import OrinNXModel
+from repro.arch.gscore import GSCoreModel
+
+#: Hardware points of Fig. 11 in plotting order.
+FIG11_VARIANTS = ("gscore", "wo_vq_cgf", "wo_cgf", "streaminggs")
+
+#: Scenes averaged over (the paper averages its four datasets; we average
+#: one representative scene per dataset).
+FIG11_SCENES = ("lego", "palace", "truck", "playroom")
+
+#: Base algorithms of Fig. 11.
+FIG11_ALGORITHMS = ("3dgs", "mini_splatting", "light_gaussian")
+
+#: Paper headline numbers (averaged over datasets, original 3DGS).
+PAPER_SPEEDUP = {
+    "gscore": 21.6,
+    "wo_vq_cgf": 22.2,
+    "wo_cgf": 22.2,
+    "streaminggs": 45.7,
+}
+PAPER_ENERGY_SAVINGS = {
+    "gscore": 27.0,
+    "wo_vq_cgf": 25.0,
+    "wo_cgf": 28.0,
+    "streaminggs": 62.9,
+}
+
+
+def _hardware_report(variant: str, workload):
+    """Evaluate one hardware point on one workload."""
+    if variant == "gscore":
+        return GSCoreModel().evaluate(workload)
+    config = AcceleratorConfig.variant(
+        "streaminggs" if variant == "streaminggs" else variant
+    )
+    return StreamingGSAccelerator(config).evaluate(workload)
+
+
+@dataclass
+class Fig11Result:
+    """Speedup / energy savings of every hardware point per base algorithm."""
+
+    algorithms: List[str]
+    variants: List[str]
+    speedup: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    energy_savings: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    paper_speedup: Dict[str, float] = field(default_factory=lambda: dict(PAPER_SPEEDUP))
+    paper_energy: Dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_ENERGY_SAVINGS)
+    )
+
+    def mean_speedup(self, variant: str) -> float:
+        return float(
+            np.mean([self.speedup[algo][variant] for algo in self.algorithms])
+        )
+
+    def mean_energy_savings(self, variant: str) -> float:
+        return float(
+            np.mean([self.energy_savings[algo][variant] for algo in self.algorithms])
+        )
+
+    def streaming_vs_gscore_speedup(self) -> float:
+        """The paper's 2.1x headline: STREAMINGGS over GSCore."""
+        return self.mean_speedup("streaminggs") / self.mean_speedup("gscore")
+
+    def streaming_vs_gscore_energy(self) -> float:
+        """The paper's 2.3x headline on energy."""
+        return self.mean_energy_savings("streaminggs") / self.mean_energy_savings(
+            "gscore"
+        )
+
+    def format(self) -> str:
+        rows = []
+        for algo in self.algorithms:
+            for variant in self.variants:
+                rows.append(
+                    [
+                        algo,
+                        variant,
+                        self.speedup[algo][variant],
+                        self.energy_savings[algo][variant],
+                    ]
+                )
+        table = format_table(
+            ["algorithm", "hardware", "speedup vs GPU", "energy savings vs GPU"],
+            rows,
+            title="Fig. 11 — end-to-end speedup and energy savings",
+        )
+        summary = (
+            f"mean speedup: streaminggs {self.mean_speedup('streaminggs'):.1f}x "
+            f"(paper 45.7x), gscore {self.mean_speedup('gscore'):.1f}x (paper 21.6x)\n"
+            f"mean energy savings: streaminggs {self.mean_energy_savings('streaminggs'):.1f}x "
+            f"(paper 62.9x), gscore {self.mean_energy_savings('gscore'):.1f}x\n"
+            f"streaminggs vs gscore: {self.streaming_vs_gscore_speedup():.2f}x speedup "
+            f"(paper 2.1x), {self.streaming_vs_gscore_energy():.2f}x energy (paper 2.3x)"
+        )
+        return f"{table}\n{summary}"
+
+
+def run_fig11(
+    scenes: Sequence[str] = FIG11_SCENES,
+    algorithms: Sequence[str] = FIG11_ALGORITHMS,
+    variants: Sequence[str] = FIG11_VARIANTS,
+) -> Fig11Result:
+    """Reproduce Fig. 11: per-algorithm speedup and energy savings."""
+    result = Fig11Result(algorithms=list(algorithms), variants=list(variants))
+    gpu = OrinNXModel()
+    for algorithm in algorithms:
+        speedups: Dict[str, List[float]] = {variant: [] for variant in variants}
+        energies: Dict[str, List[float]] = {variant: [] for variant in variants}
+        for scene in scenes:
+            context = get_scene_context(scene, algorithm=algorithm)
+            gpu_report = gpu.evaluate(context.workload)
+            for variant in variants:
+                report = _hardware_report(variant, context.workload)
+                speedups[variant].append(report.speedup_over(gpu_report))
+                energies[variant].append(report.energy_saving_over(gpu_report))
+        result.speedup[algorithm] = {
+            variant: float(np.mean(values)) for variant, values in speedups.items()
+        }
+        result.energy_savings[algorithm] = {
+            variant: float(np.mean(values)) for variant, values in energies.items()
+        }
+    return result

@@ -1,0 +1,107 @@
+"""Experiment registry and command-line entry point.
+
+Lets a user regenerate any single table or figure without going through the
+benchmark harness::
+
+    python -m repro.analysis.runner --list
+    python -m repro.analysis.runner fig3 fig4
+    python -m repro.analysis.runner all
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.analysis.characterization import run_fig2, run_fig3, run_fig4
+from repro.analysis.claims import run_supporting_claims
+from repro.analysis.performance import run_fig11
+from repro.analysis.quality import run_fig7, run_table2
+from repro.analysis.report import format_table
+from repro.analysis.sensitivity import run_fig12, run_fig13
+from repro.arch.area import AreaModel
+
+
+def _run_tab1() -> "object":
+    """Table I wrapper so every experiment has the same call shape."""
+    breakdown = AreaModel().table1()
+
+    class _Tab1Result:
+        def format(self) -> str:
+            rows = [[name, f"{area:.3f}"] for name, area in breakdown.as_rows()]
+            return format_table(
+                ["component", "area (mm^2)"], rows, title="Table I — configuration and area"
+            )
+
+    return _Tab1Result()
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable artefact of the paper's evaluation."""
+
+    name: str
+    description: str
+    runner: Callable[[], object]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig2": Experiment("fig2", "DRAM traffic breakdown of tile-centric 3DGS", run_fig2),
+    "fig3": Experiment("fig3", "3DGS FPS on the Orin NX GPU", run_fig3),
+    "fig4": Experiment("fig4", "DRAM bandwidth needed for 90 FPS", run_fig4),
+    "fig7": Experiment("fig7", "Boundary-aware fine-tuning (train scene)", run_fig7),
+    "tab1": Experiment("tab1", "Accelerator configuration and area", _run_tab1),
+    "tab2": Experiment("tab2", "Rendering quality (PSNR) comparison", run_table2),
+    "fig11": Experiment("fig11", "End-to-end speedup and energy savings", run_fig11),
+    "fig12": Experiment("fig12", "Voxel-size sensitivity", run_fig12),
+    "fig13": Experiment("fig13", "CFU/FFU sensitivity", run_fig13),
+    "claims": Experiment("claims", "Supporting filtering / VQ claims", run_supporting_claims),
+}
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by name and return its formatted report."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    result = EXPERIMENTS[name].runner()
+    return result.format()
+
+
+def list_experiments() -> List[str]:
+    """Registered experiment names in presentation order."""
+    return list(EXPERIMENTS)
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.runner",
+        description="Regenerate tables/figures of the STREAMINGGS evaluation.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (e.g. fig3 tab2), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for experiment in EXPERIMENTS.values():
+            print(f"{experiment.name:<8} {experiment.description}")
+        return 0
+
+    names = (
+        list(EXPERIMENTS) if args.experiments == ["all"] else list(args.experiments)
+    )
+    for name in names:
+        print(run_experiment(name))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Sensitivity studies (Fig. 12 and Fig. 13).
+
+Fig. 12 sweeps the voxel size on the train scene and reports energy savings
+(over the GPU) together with rendering quality.  Fig. 13 sweeps the number
+of coarse- and fine-grained filter units per HFU and reports the speedup
+over the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.context import get_scene_context
+from repro.analysis.report import format_series, format_table
+from repro.arch.accelerator import AcceleratorConfig, StreamingGSAccelerator
+from repro.arch.area import AreaModel
+from repro.arch.gpu import OrinNXModel
+
+#: Fig. 12 voxel sizes (scene units, train scene).
+FIG12_VOXEL_SIZES = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+#: Fig. 13 CFU / FFU counts.
+FIG13_CFUS = (1, 2, 3, 4)
+FIG13_FFUS = (1, 2, 3, 4)
+
+#: Paper Fig. 13 corner values (1 CFU/1 FFU and 4 CFU/4 FFU).
+PAPER_FIG13_MIN = 20.6
+PAPER_FIG13_MAX = 46.8
+
+
+@dataclass
+class Fig12Result:
+    """Voxel-size sensitivity of energy savings and rendering quality."""
+
+    voxel_sizes: List[float]
+    energy_savings: List[float]
+    psnr: List[float]
+    scene: str = "train"
+
+    @property
+    def quality_monotonic_trend(self) -> float:
+        """Correlation between voxel size and PSNR (paper: positive, then flat)."""
+        if len(self.voxel_sizes) < 2:
+            return 0.0
+        return float(np.corrcoef(self.voxel_sizes, self.psnr)[0, 1])
+
+    def format(self) -> str:
+        return format_series(
+            {
+                "energy savings (x)": self.energy_savings,
+                "PSNR (dB)": self.psnr,
+            },
+            "voxel size",
+            self.voxel_sizes,
+            title=f"Fig. 12 — voxel-size sensitivity ({self.scene} scene)",
+        )
+
+
+def run_fig12(
+    scene: str = "train", voxel_sizes: Sequence[float] = FIG12_VOXEL_SIZES
+) -> Fig12Result:
+    """Reproduce Fig. 12: energy savings and PSNR vs. voxel size."""
+    gpu = OrinNXModel()
+    energy_savings, quality = [], []
+    for voxel_size in voxel_sizes:
+        context = get_scene_context(scene, voxel_size=float(voxel_size))
+        gpu_report = gpu.evaluate(context.workload)
+        accel_report = StreamingGSAccelerator().evaluate(context.workload)
+        energy_savings.append(accel_report.energy_saving_over(gpu_report))
+        quality.append(context.streaming_psnr)
+    return Fig12Result(
+        voxel_sizes=list(voxel_sizes),
+        energy_savings=energy_savings,
+        psnr=quality,
+        scene=scene,
+    )
+
+
+@dataclass
+class Fig13Result:
+    """CFU / FFU sensitivity of the speedup over the GPU."""
+
+    cfus: List[int]
+    ffus: List[int]
+    speedup: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    area_mm2: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    scene: str = "train"
+    paper_min: float = PAPER_FIG13_MIN
+    paper_max: float = PAPER_FIG13_MAX
+
+    def value(self, num_cfu: int, num_ffu: int) -> float:
+        return self.speedup[num_cfu][num_ffu]
+
+    def format(self) -> str:
+        rows = []
+        for num_cfu in self.cfus:
+            rows.append(
+                [f"{num_cfu} CFU"]
+                + [self.speedup[num_cfu][num_ffu] for num_ffu in self.ffus]
+            )
+        table = format_table(
+            ["config"] + [f"{f} FFU" for f in self.ffus],
+            rows,
+            title=f"Fig. 13 — speedup vs CFU/FFU count ({self.scene} scene)",
+        )
+        return (
+            f"{table}\n"
+            f"paper corners: {self.paper_min:.1f}x (1/1) ... {self.paper_max:.1f}x (4/4)"
+        )
+
+
+def run_fig13(
+    scene: str = "train",
+    cfus: Sequence[int] = FIG13_CFUS,
+    ffus: Sequence[int] = FIG13_FFUS,
+) -> Fig13Result:
+    """Reproduce Fig. 13: speedup as a function of CFU and FFU counts."""
+    context = get_scene_context(scene)
+    gpu_report = OrinNXModel().evaluate(context.workload)
+    area_model = AreaModel()
+    result = Fig13Result(cfus=list(cfus), ffus=list(ffus), scene=scene)
+    for num_cfu in cfus:
+        result.speedup[num_cfu] = {}
+        result.area_mm2[num_cfu] = {}
+        for num_ffu in ffus:
+            config = AcceleratorConfig(cfus_per_hfu=num_cfu, ffus_per_hfu=num_ffu)
+            report = StreamingGSAccelerator(config).evaluate(context.workload)
+            result.speedup[num_cfu][num_ffu] = report.speedup_over(gpu_report)
+            result.area_mm2[num_cfu][num_ffu] = area_model.breakdown(
+                cfus_per_hfu=num_cfu, ffus_per_hfu=num_ffu
+            ).total_mm2
+    return result

@@ -1,0 +1,51 @@
+"""Analytical architecture models (Sec. IV and the evaluation's hardware side).
+
+The accelerator is evaluated the way DAC accelerator papers are evaluated:
+with performance/energy models driven by per-frame workload counts.  The
+counts come from actual runs of the algorithms in :mod:`repro.core` and
+:mod:`repro.gaussians` on the simulated scenes, scaled to the paper-scale
+scene statistics by :mod:`repro.arch.workload`; the per-operation latency,
+energy and area constants live in :mod:`repro.arch.technology`.
+
+Modelled hardware:
+
+* :mod:`repro.arch.accelerator` — the STREAMINGGS accelerator (VSU + HFUs +
+  sorting units + rendering units, Fig. 9) and its ablation variants;
+* :mod:`repro.arch.gscore` — the GSCore tile-centric accelerator baseline;
+* :mod:`repro.arch.gpu` — the Nvidia Orin NX mobile GPU baseline;
+* :mod:`repro.arch.dram`, :mod:`repro.arch.sram`, :mod:`repro.arch.area` —
+  LPDDR3 DRAM, SRAM and 32 nm area models.
+"""
+
+from repro.arch.technology import TechnologyParameters, TECH_32NM
+from repro.arch.dram import DRAMModel, LPDDR3_4CH
+from repro.arch.sram import SRAMModel
+from repro.arch.area import AreaModel, AreaBreakdown
+from repro.arch.workload import FullScaleWorkload, build_workload
+from repro.arch.accelerator import (
+    AcceleratorConfig,
+    PerformanceReport,
+    StreamingGSAccelerator,
+)
+from repro.arch.gscore import GSCoreModel
+from repro.arch.gpu import OrinNXModel
+from repro.arch.traffic import TileCentricTraffic, tile_centric_traffic
+
+__all__ = [
+    "TechnologyParameters",
+    "TECH_32NM",
+    "DRAMModel",
+    "LPDDR3_4CH",
+    "SRAMModel",
+    "AreaModel",
+    "AreaBreakdown",
+    "FullScaleWorkload",
+    "build_workload",
+    "AcceleratorConfig",
+    "PerformanceReport",
+    "StreamingGSAccelerator",
+    "GSCoreModel",
+    "OrinNXModel",
+    "TileCentricTraffic",
+    "tile_centric_traffic",
+]

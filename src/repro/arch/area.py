@@ -1,0 +1,108 @@
+"""Area model of the STREAMINGGS accelerator (Table I).
+
+Per-unit areas are anchored to Table I of the paper (32 nm):
+
+=====================  ==========  ================  ============
+Unit                   Count       Area (total)      Area / unit
+=====================  ==========  ================  ============
+Voxel sorting unit     1           0.06 mm^2         0.06 mm^2
+Hierarchical filter    4           0.79 mm^2         0.1975 mm^2
+Sorting unit           2           0.04 mm^2         0.02 mm^2
+Rendering unit         64          2.53 mm^2         0.0395 mm^2
+SRAM (355 KB)          —           1.95 mm^2         —
+Total                              5.37 mm^2
+=====================  ==========  ================  ============
+
+The HFU area is further split between its coarse-grained filter units
+(CFUs, 55 MACs) and its fine-grained filter unit (FFU, 427 MACs plus the
+RGB/conic datapath) in proportion to their datapath sizes, so the CFU/FFU
+sensitivity sweep (Fig. 13) can also report the area overhead of larger
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.arch.sram import SRAMModel, default_buffers, total_sram_area_mm2
+
+#: Table I per-unit areas (mm^2).
+VSU_AREA_MM2 = 0.06
+SORT_UNIT_AREA_MM2 = 0.02
+RENDER_UNIT_AREA_MM2 = 2.53 / 64
+
+#: The default HFU (4 CFUs + 1 FFU) occupies 0.79/4 mm^2.  Datapath MAC
+#: counts (55 vs 427) put roughly one third of that in the four CFUs and
+#: two thirds in the FFU + decode path.
+HFU_AREA_MM2 = 0.79 / 4
+CFU_AREA_MM2 = HFU_AREA_MM2 * (1.0 / 3.0) / 4
+FFU_AREA_MM2 = HFU_AREA_MM2 * (2.0 / 3.0)
+
+#: Published GSCore area scaled to 32 nm (for the comparison in Sec. V-A).
+GSCORE_AREA_MM2 = 5.53
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-component area of one accelerator configuration."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mm2(self) -> float:
+        return float(sum(self.components.values()))
+
+    def as_rows(self) -> list:
+        """Rows ``(component, area)`` sorted as in Table I, with the total."""
+        order = [
+            "voxel_sorting_unit",
+            "hierarchical_filtering_unit",
+            "sorting_unit",
+            "rendering_unit",
+            "sram",
+        ]
+        rows = [(name, self.components[name]) for name in order if name in self.components]
+        extra = [
+            (name, area) for name, area in self.components.items() if name not in order
+        ]
+        return rows + extra + [("total", self.total_mm2)]
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Computes accelerator area as a function of unit counts."""
+
+    buffers: Dict[str, SRAMModel] = field(default_factory=default_buffers)
+
+    def breakdown(
+        self,
+        num_vsu: int = 1,
+        num_hfu: int = 4,
+        cfus_per_hfu: int = 4,
+        ffus_per_hfu: int = 1,
+        num_sort_units: int = 2,
+        num_render_units: int = 64,
+    ) -> AreaBreakdown:
+        """Area breakdown for an accelerator configuration.
+
+        The default arguments reproduce Table I.
+        """
+        if min(num_vsu, num_hfu, cfus_per_hfu, ffus_per_hfu, num_sort_units, num_render_units) <= 0:
+            raise ValueError("all unit counts must be positive")
+        hfu_area = num_hfu * (
+            cfus_per_hfu * CFU_AREA_MM2 + ffus_per_hfu * FFU_AREA_MM2
+        )
+        return AreaBreakdown(
+            components={
+                "voxel_sorting_unit": num_vsu * VSU_AREA_MM2,
+                "hierarchical_filtering_unit": hfu_area,
+                "sorting_unit": num_sort_units * SORT_UNIT_AREA_MM2,
+                "rendering_unit": num_render_units * RENDER_UNIT_AREA_MM2,
+                "sram": total_sram_area_mm2(self.buffers),
+            }
+        )
+
+    def table1(self) -> AreaBreakdown:
+        """The default configuration's breakdown (Table I)."""
+        return self.breakdown()

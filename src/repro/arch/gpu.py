@@ -1,0 +1,98 @@
+"""Roofline-style model of the Nvidia Orin NX mobile GPU baseline.
+
+The paper measures 3DGS on the Orin NX directly (Fig. 3: 2-9 FPS) and uses
+its built-in power sensors for energy.  Our substitute is a calibrated
+roofline: per-frame FLOPs and DRAM traffic come from the tile-centric
+workload model, the achieved compute/bandwidth efficiencies are calibrated
+so the six scenes land in the measured 2-9 FPS band, and frame energy is
+board power times frame time plus DRAM traffic energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import PerformanceReport
+from repro.arch.technology import GPUParameters, ORIN_NX
+from repro.arch.traffic import tile_centric_traffic
+from repro.arch.units import BLEND_OPS_PER_FRAGMENT, FULL_PROJECTION_MACS
+from repro.arch.workload import FullScaleWorkload
+
+#: FLOPs per sorted pair for the GPU radix sort (key handling, scatter).
+SORT_OPS_PER_PAIR = 24
+
+#: Extra per-pair overhead in the rendering kernel (list traversal, early
+#: termination checks) beyond the per-fragment blend arithmetic.
+RENDER_OPS_PER_PAIR = 40
+
+
+@dataclass
+class GPUWorkloadBreakdown:
+    """Per-frame FLOPs of the tile-centric pipeline on the GPU."""
+
+    projection_flops: float
+    sorting_flops: float
+    rendering_flops: float
+
+    @property
+    def total_flops(self) -> float:
+        return self.projection_flops + self.sorting_flops + self.rendering_flops
+
+
+def gpu_flops(workload: FullScaleWorkload) -> GPUWorkloadBreakdown:
+    """FLOP counts of the three pipeline stages for one frame."""
+    projection = workload.num_gaussians * 2.0 * FULL_PROJECTION_MACS
+    sorting = workload.num_pairs * SORT_OPS_PER_PAIR
+    rendering = (
+        workload.blended_fragments * BLEND_OPS_PER_FRAGMENT
+        + workload.num_pairs * RENDER_OPS_PER_PAIR
+    )
+    return GPUWorkloadBreakdown(
+        projection_flops=projection,
+        sorting_flops=sorting,
+        rendering_flops=rendering,
+    )
+
+
+class OrinNXModel:
+    """The mobile-GPU baseline."""
+
+    def __init__(self, params: GPUParameters = ORIN_NX) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def evaluate(self, workload: FullScaleWorkload) -> PerformanceReport:
+        """Per-frame latency and energy of tile-centric 3DGS on the GPU."""
+        flops = gpu_flops(workload)
+        traffic = tile_centric_traffic(workload)
+
+        compute_time = flops.total_flops / (
+            self.params.peak_flops * self.params.compute_efficiency
+        )
+        memory_time = traffic.total_bytes / (
+            self.params.dram_bandwidth_bytes * self.params.bandwidth_efficiency
+        )
+        frame_time = max(compute_time, memory_time) + self.params.frame_overhead_s
+
+        dram_energy = traffic.total_bytes * self.params.dram_energy_per_byte_j
+        board_energy = self.params.board_power_w * frame_time
+        return PerformanceReport(
+            name="orin_nx",
+            frame_time_s=frame_time,
+            energy_per_frame_j=board_energy + dram_energy,
+            dram_bytes=traffic.total_bytes,
+            stage_cycles={
+                "projection_flops": flops.projection_flops,
+                "sorting_flops": flops.sorting_flops,
+                "rendering_flops": flops.rendering_flops,
+            },
+            energy_breakdown={"board": board_energy, "dram": dram_energy},
+        )
+
+    def fps(self, workload: FullScaleWorkload) -> float:
+        """Frames per second for one scene (Fig. 3)."""
+        return self.evaluate(workload).fps
+
+    def required_bandwidth(self, workload: FullScaleWorkload, fps: float = 90.0) -> float:
+        """DRAM bandwidth needed to hit ``fps`` with tile-centric rendering."""
+        return tile_centric_traffic(workload).required_bandwidth(fps)

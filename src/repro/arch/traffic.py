@@ -1,0 +1,172 @@
+"""DRAM traffic models of the tile-centric and streaming pipelines.
+
+The tile-centric model reproduces the characterization of Sec. II-B /
+Fig. 2 / Fig. 4: per-frame traffic is dominated by the intermediate data
+written and re-read between the projection, sorting and rendering stages.
+The streaming model captures the memory-centric pipeline of Sec. III: the
+only reads are the (two-half, optionally vector-quantised) voxel streams
+and the only writes are the final pixel values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.workload import FullScaleWorkload
+
+#: Bytes read per Gaussian during projection (59 float32 parameters).
+PROJECTION_READ_BYTES = 59 * 4
+
+#: Bytes of processed per-Gaussian features written back after projection
+#: (2D mean, depth, conic, RGB, opacity, radius, tile range).
+PROJECTION_WRITE_BYTES = 56
+
+#: Bytes per duplicated (tile, depth | Gaussian) key/value pair.
+PAIR_BYTES = 12
+
+#: Radix-sort passes over the pair array (each pass reads and writes it).
+#: The GPU implementation sorts 64-bit (tile | depth) keys 8 bits at a time.
+RADIX_PASSES = 8
+
+#: Bytes of per-Gaussian features re-read from DRAM per pair during
+#: rendering (compact conic / colour / opacity record; the rest hits cache).
+RENDER_FEATURE_BYTES = 20
+
+#: Bytes written per pixel by the tile-centric pipeline (RGBA8 + depth).
+TILE_PIXEL_WRITE_BYTES = 8
+
+
+@dataclass
+class TileCentricTraffic:
+    """Per-frame, per-stage DRAM bytes of the tile-centric pipeline."""
+
+    projection_bytes: float
+    sorting_bytes: float
+    rendering_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.projection_bytes + self.sorting_bytes + self.rendering_bytes
+
+    initial_model_read_bytes: float = 0.0
+    final_pixel_write_bytes: float = 0.0
+
+    @property
+    def intermediate_bytes(self) -> float:
+        """Traffic attributable to inter-stage intermediate data.
+
+        Everything except the initial model read and the final pixel write —
+        the quantity the paper reports as 85 % of total traffic.
+        """
+        return (
+            self.total_bytes
+            - self.initial_model_read_bytes
+            - self.final_pixel_write_bytes
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        """Stage-name to bytes mapping (Fig. 2 / Fig. 4 series)."""
+        return {
+            "projection": self.projection_bytes,
+            "sorting": self.sorting_bytes,
+            "rendering": self.rendering_bytes,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        """Stage shares of total traffic."""
+        total = max(self.total_bytes, 1e-12)
+        return {name: value / total for name, value in self.breakdown().items()}
+
+    def required_bandwidth(self, fps: float = 90.0) -> float:
+        """Bytes/s needed to sustain ``fps`` (Fig. 4's y-axis)."""
+        return self.total_bytes * fps
+
+
+def tile_centric_traffic(workload: FullScaleWorkload) -> TileCentricTraffic:
+    """Per-stage DRAM traffic of the tile-centric pipeline for one frame."""
+    model_read = workload.num_gaussians * PROJECTION_READ_BYTES
+    projection = (
+        model_read
+        + workload.visible_gaussians * PROJECTION_WRITE_BYTES
+        + workload.num_pairs * PAIR_BYTES  # key/value generation write
+    )
+    sorting = workload.num_pairs * PAIR_BYTES * 2 * RADIX_PASSES
+    pixel_writes = workload.num_pixels * TILE_PIXEL_WRITE_BYTES
+    rendering = (
+        workload.num_pairs * (4 + RENDER_FEATURE_BYTES) + pixel_writes
+    )
+    return TileCentricTraffic(
+        projection_bytes=projection,
+        sorting_bytes=sorting,
+        rendering_bytes=rendering,
+        initial_model_read_bytes=model_read,
+        final_pixel_write_bytes=pixel_writes,
+    )
+
+
+@dataclass
+class StreamingTraffic:
+    """Per-frame DRAM bytes of the memory-centric streaming pipeline."""
+
+    first_half_bytes: float
+    second_half_bytes: float
+    ordering_metadata_bytes: float
+    pixel_write_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.first_half_bytes
+            + self.second_half_bytes
+            + self.ordering_metadata_bytes
+            + self.pixel_write_bytes
+        )
+
+    @property
+    def intermediate_bytes(self) -> float:
+        """Inter-stage intermediate traffic — zero by construction."""
+        return 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "first_half": self.first_half_bytes,
+            "second_half": self.second_half_bytes,
+            "ordering_metadata": self.ordering_metadata_bytes,
+            "pixel_writes": self.pixel_write_bytes,
+        }
+
+    def required_bandwidth(self, fps: float = 90.0) -> float:
+        return self.total_bytes * fps
+
+
+def streaming_traffic(
+    workload: FullScaleWorkload,
+    use_vq: bool = True,
+    use_coarse_filter: bool = True,
+) -> StreamingTraffic:
+    """Per-frame DRAM traffic of the streaming pipeline for one frame.
+
+    The first half of every visible Gaussian is fetched (approximately) once
+    per frame; the second half is fetched only for Gaussians that pass the
+    coarse filter for at least one pixel group.  Without the coarse filter
+    every visible Gaussian's second half is fetched; without VQ it is
+    fetched uncompressed — these are the "w/o CGF" and "w/o VQ+CGF"
+    ablations of Fig. 11.
+    """
+    first_half = workload.first_half_fetched * workload.first_half_bytes
+    second_half_count = workload.second_half_fetched(use_coarse_filter)
+    bytes_per_second_half = (
+        workload.second_half_bytes_vq if use_vq else workload.second_half_bytes_raw
+    )
+    second_half = second_half_count * bytes_per_second_half
+    # Voxel ordering metadata: one renamed voxel id per (group, traversed
+    # voxel) entry.
+    ordering = workload.num_groups * workload.voxels_per_group * 4.0
+    pixels = workload.num_pixels * workload.pixel_write_bytes
+    return StreamingTraffic(
+        first_half_bytes=first_half,
+        second_half_bytes=second_half,
+        ordering_metadata_bytes=ordering,
+        pixel_write_bytes=pixels,
+    )

@@ -1,0 +1,142 @@
+"""Latency / energy models of the accelerator's functional units (Fig. 9/10).
+
+Each unit model answers two questions for a per-frame workload: how many
+cycles does the unit need (assuming its internal pipelining sustains one
+operation per lane per cycle), and how much dynamic energy do those
+operations consume.  The accelerator model combines the units into a
+coarse-grained pipeline where voxel streaming, filtering, sorting and
+rendering overlap, so the frame latency is set by the slowest stage plus
+the DRAM transfer time not hidden by double buffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.technology import TECH_32NM, TechnologyParameters
+from repro.core.hierarchical_filter import COARSE_FILTER_MACS, FINE_FILTER_MACS
+
+#: MACs of a full (unfiltered) projection per Gaussian on the GPU / GSCore
+#: path — the fine-filter datapath plus SH colour evaluation.
+FULL_PROJECTION_MACS = FINE_FILTER_MACS + 120
+
+#: Arithmetic operations per blended fragment (conic evaluation, exponent,
+#: alpha blending) — used for both GPU FLOP counts and render-unit energy.
+BLEND_OPS_PER_FRAGMENT = 60
+
+#: Cycles per ray-sample the VSU spends identifying a voxel and renaming it.
+VSU_CYCLES_PER_SAMPLE = 1
+
+#: Cycles per DAG edge for the in-degree table update during topological sort.
+VSU_CYCLES_PER_EDGE = 1
+
+
+@dataclass(frozen=True)
+class VoxelSortingUnit:
+    """The VSU: ray sampling, renaming, adjacency and topological sort."""
+
+    tech: TechnologyParameters = TECH_32NM
+    rays_per_group: int = 64       # the VSU samples a subset of the group's rays
+    lanes: int = 4                 # parallel ray-sample lanes
+
+    def cycles(self, num_groups: float, voxels_per_ray: float, voxels_per_group: float) -> float:
+        """Cycles to order the voxels of every pixel group of one frame."""
+        sample_cycles = (
+            num_groups * self.rays_per_group * voxels_per_ray * VSU_CYCLES_PER_SAMPLE
+        ) / self.lanes
+        # Adjacency construction + Kahn sort touch every (voxel, successor)
+        # pair once; the dependency graph is sparse (~2 edges per voxel).
+        sort_cycles = num_groups * voxels_per_group * 2.0 * VSU_CYCLES_PER_EDGE
+        return sample_cycles + sort_cycles
+
+    def energy_j(self, num_groups: float, voxels_per_ray: float, voxels_per_group: float) -> float:
+        """Dynamic energy: each sample / table update costs about one MAC."""
+        operations = (
+            num_groups * self.rays_per_group * voxels_per_ray
+            + num_groups * voxels_per_group * 2.0
+        )
+        return operations * self.tech.mac_energy_j
+
+
+@dataclass(frozen=True)
+class HierarchicalFilteringUnit:
+    """One HFU: ``num_cfu`` coarse filter lanes and ``num_ffu`` fine lanes."""
+
+    tech: TechnologyParameters = TECH_32NM
+    num_cfu: int = 4
+    num_ffu: int = 1
+    #: Cycles per Gaussian in one CFU lane (55 MACs, fully pipelined: one
+    #: Gaussian per cycle of initiation interval).
+    cfu_cycles_per_gaussian: float = 1.0
+    #: Cycles per Gaussian in one FFU lane: the 427-MAC precise projection
+    #: plus codebook decode and RGB/conic computation is implemented on a
+    #: narrower datapath, giving a 2-cycle initiation interval.  This is the
+    #: ratio that makes the coarse filter's early rejection matter for
+    #: end-to-end latency (Fig. 11's "w/o CGF" ablation).
+    ffu_cycles_per_gaussian: float = 2.0
+
+    def coarse_cycles(self, gaussians: float) -> float:
+        return gaussians * self.cfu_cycles_per_gaussian / self.num_cfu
+
+    def fine_cycles(self, gaussians: float) -> float:
+        return gaussians * self.ffu_cycles_per_gaussian / self.num_ffu
+
+    def cycles(self, coarse_gaussians: float, fine_gaussians: float) -> float:
+        """The HFU is internally pipelined: coarse and fine overlap."""
+        return max(self.coarse_cycles(coarse_gaussians), self.fine_cycles(fine_gaussians))
+
+    def energy_j(self, coarse_gaussians: float, fine_gaussians: float) -> float:
+        macs = (
+            coarse_gaussians * COARSE_FILTER_MACS
+            + fine_gaussians * FINE_FILTER_MACS
+        )
+        return macs * self.tech.mac_energy_j
+
+
+@dataclass(frozen=True)
+class BitonicSortingUnit:
+    """The (simplified) bitonic sorting unit adopted from GSCore."""
+
+    tech: TechnologyParameters = TECH_32NM
+    comparators: int = 32  # compare-exchange operations per cycle
+
+    def cycles_for_list(self, length: float) -> float:
+        """Cycles to sort one list of ``length`` elements."""
+        if length <= 1:
+            return 0.0
+        n = 2 ** int(np.ceil(np.log2(max(length, 2))))
+        stages = int(np.log2(n))
+        operations = n * stages * (stages + 1) / 4
+        return operations / self.comparators
+
+    def cycles(self, num_lists: float, mean_length: float) -> float:
+        """Cycles to sort ``num_lists`` lists of ``mean_length`` each."""
+        return num_lists * self.cycles_for_list(mean_length)
+
+    def energy_j(self, num_lists: float, mean_length: float) -> float:
+        if mean_length <= 1:
+            return 0.0
+        n = 2 ** int(np.ceil(np.log2(max(mean_length, 2))))
+        stages = int(np.log2(n))
+        operations = num_lists * n * stages * (stages + 1) / 4
+        return operations * self.tech.sort_energy_j
+
+
+@dataclass(frozen=True)
+class RenderingUnitArray:
+    """The array of volume-rendering units (identical to GSCore's)."""
+
+    tech: TechnologyParameters = TECH_32NM
+    num_units: int = 64
+    #: Sustained blending throughput per unit: alpha-test misses and
+    #: early-termination bubbles keep each unit below one useful fragment
+    #: per cycle (matches GSCore's reported rendering-unit utilisation).
+    fragments_per_unit_per_cycle: float = 0.67
+
+    def cycles(self, fragments: float) -> float:
+        return fragments / (self.num_units * self.fragments_per_unit_per_cycle)
+
+    def energy_j(self, fragments: float) -> float:
+        return fragments * self.tech.blend_energy_j

@@ -1,0 +1,34 @@
+"""Vector quantization of the "second half" Gaussian features (Sec. III-C).
+
+The customized DRAM data layout keeps the coarse-filter parameters
+(position + maximum scale) uncompressed and compresses everything else into
+per-feature-group codebooks: one codebook each for scale, rotation and DC
+colour (4096 entries) and one for the higher-order SH coefficients
+(512 entries).  Only the codebook *indices* are stored in DRAM; the
+codebooks themselves live in the accelerator's SRAM and are used for
+on-chip decoding.
+"""
+
+from repro.compression.kmeans import KMeansResult, kmeans
+from repro.compression.codebook import Codebook, CodebookSpec
+from repro.compression.vq import (
+    DEFAULT_VQ_SPECS,
+    QuantizedGaussians,
+    VectorQuantizer,
+)
+from repro.compression.quantization_aware import (
+    QATResult,
+    quantization_aware_finetune,
+)
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "Codebook",
+    "CodebookSpec",
+    "DEFAULT_VQ_SPECS",
+    "QuantizedGaussians",
+    "VectorQuantizer",
+    "QATResult",
+    "quantization_aware_finetune",
+]

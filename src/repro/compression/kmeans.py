@@ -1,0 +1,146 @@
+"""A small k-means implementation (k-means++ init, Lloyd iterations).
+
+Used to build the vector-quantization codebooks.  The implementation is
+chunked so it stays memory-friendly when the number of vectors is large,
+and it guarantees that the returned codebook has exactly ``k`` rows even
+when there are fewer than ``k`` distinct inputs (duplicated centroids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Result of a k-means run."""
+
+    centroids: np.ndarray    # (k, d)
+    assignments: np.ndarray  # (n,) index of the closest centroid per input
+    inertia: float           # sum of squared distances to assigned centroids
+    iterations: int
+
+
+def _chunked_closest(
+    vectors: np.ndarray, centroids: np.ndarray, chunk: int = 8192
+) -> tuple:
+    """Closest centroid index and squared distance per vector, chunked."""
+    n = len(vectors)
+    assignments = np.empty(n, dtype=np.int64)
+    distances = np.empty(n, dtype=np.float64)
+    cent_sq = np.sum(centroids * centroids, axis=1)
+    for start in range(0, n, chunk):
+        block = vectors[start : start + chunk]
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; ||x||^2 constant per row.
+        cross = block @ centroids.T
+        d2 = np.sum(block * block, axis=1)[:, None] - 2.0 * cross + cent_sq[None, :]
+        idx = np.argmin(d2, axis=1)
+        assignments[start : start + chunk] = idx
+        distances[start : start + chunk] = np.clip(
+            d2[np.arange(len(block)), idx], 0.0, None
+        )
+    return assignments, distances
+
+
+def _kmeans_plus_plus_init(
+    vectors: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding."""
+    n = len(vectors)
+    centroids = np.empty((k, vectors.shape[1]), dtype=np.float64)
+    first = rng.integers(0, n)
+    centroids[0] = vectors[first]
+    closest_d2 = np.sum((vectors - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_d2.sum()
+        if total <= 1e-18:
+            # All remaining vectors identical to chosen centroids: duplicate.
+            centroids[i:] = centroids[i - 1]
+            break
+        probs = closest_d2 / total
+        choice = rng.choice(n, p=probs)
+        centroids[i] = vectors[choice]
+        d2_new = np.sum((vectors - centroids[i]) ** 2, axis=1)
+        closest_d2 = np.minimum(closest_d2, d2_new)
+    return centroids
+
+
+def kmeans(
+    vectors: np.ndarray,
+    k: int,
+    max_iterations: int = 25,
+    tolerance: float = 1e-6,
+    seed: int = 0,
+    sample_limit: int = 50_000,
+) -> KMeansResult:
+    """Cluster ``vectors`` into ``k`` centroids.
+
+    Parameters
+    ----------
+    vectors:
+        ``(n, d)`` input vectors.
+    k:
+        Codebook size.  If ``k >= n`` the centroids are the (padded) inputs.
+    max_iterations:
+        Lloyd iteration cap.
+    tolerance:
+        Relative inertia improvement below which iteration stops.
+    seed:
+        RNG seed (k-means++ and subsampling).
+    sample_limit:
+        If ``n`` exceeds this, centroids are fitted on a random subsample and
+        only the final assignment uses all vectors (standard practice for
+        codebook training).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+    n, _ = vectors.shape
+    if n == 0:
+        raise ValueError("cannot run k-means on zero vectors")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rng = np.random.default_rng(seed)
+
+    if k >= n:
+        centroids = np.concatenate(
+            [vectors, np.repeat(vectors[-1:], k - n, axis=0)], axis=0
+        )
+        assignments = np.arange(n, dtype=np.int64)
+        return KMeansResult(
+            centroids=centroids, assignments=assignments, inertia=0.0, iterations=0
+        )
+
+    if n > sample_limit:
+        fit_vectors = vectors[rng.choice(n, size=sample_limit, replace=False)]
+    else:
+        fit_vectors = vectors
+
+    centroids = _kmeans_plus_plus_init(fit_vectors, k, rng)
+    previous_inertia = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        assignments, distances = _chunked_closest(fit_vectors, centroids)
+        inertia = float(distances.sum())
+        # Update step.
+        for ci in range(k):
+            members = fit_vectors[assignments == ci]
+            if len(members) > 0:
+                centroids[ci] = members.mean(axis=0)
+            else:
+                # Re-seed empty clusters at the farthest point.
+                centroids[ci] = fit_vectors[np.argmax(distances)]
+        if previous_inertia - inertia <= tolerance * max(previous_inertia, 1e-12):
+            previous_inertia = inertia
+            break
+        previous_inertia = inertia
+
+    assignments, distances = _chunked_closest(vectors, centroids)
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=float(distances.sum()),
+        iterations=iterations,
+    )

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: memory-centric streaming rendering.
+
+The subpackage implements the fully streaming algorithm of Sec. III:
+
+* :mod:`repro.core.voxel_grid` — scene partition into voxels, contiguous
+  per-voxel storage order and empty-voxel renaming;
+* :mod:`repro.core.ray_voxel` — per-pixel ray/voxel traversal (3D-DDA) and
+  the voxel ordering table of a pixel group;
+* :mod:`repro.core.voxel_order` — the rendering-dependency DAG and Kahn's
+  topological sort establishing the global voxel rendering order;
+* :mod:`repro.core.hierarchical_filter` — the two-phase coarse/fine Gaussian
+  filter with MAC and byte accounting;
+* :mod:`repro.core.data_layout` — the customized two-half DRAM layout with
+  vector-quantised second half;
+* :mod:`repro.core.pipeline` — the streaming renderer that ties everything
+  together and produces both images and the workload statistics consumed by
+  the architecture model.
+"""
+
+from repro.core.config import StreamingConfig
+from repro.core.voxel_grid import VoxelGrid, cross_boundary_mask
+from repro.core.ray_voxel import traverse_ray, voxel_ordering_table
+from repro.core.voxel_order import VoxelOrderResult, topological_voxel_order
+from repro.core.hierarchical_filter import FilterStats, HierarchicalFilter
+from repro.core.data_layout import DataLayout, LayoutTraffic
+from repro.core.pipeline import StreamingRenderer, StreamingStats
+
+__all__ = [
+    "StreamingConfig",
+    "VoxelGrid",
+    "cross_boundary_mask",
+    "traverse_ray",
+    "voxel_ordering_table",
+    "VoxelOrderResult",
+    "topological_voxel_order",
+    "FilterStats",
+    "HierarchicalFilter",
+    "DataLayout",
+    "LayoutTraffic",
+    "StreamingRenderer",
+    "StreamingStats",
+]

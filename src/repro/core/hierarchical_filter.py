@@ -1,0 +1,237 @@
+"""Two-phase hierarchical Gaussian filtering (Sec. III-B, Fig. 5).
+
+Loading a whole voxel unavoidably brings Gaussians on-chip that do not
+intersect the current image tile.  The hierarchical filter removes them in
+two phases:
+
+* **coarse-grained filter** — uses only the 4 uncompressed parameters
+  (position + maximum scale, ~55 MACs per Gaussian) to conservatively test
+  tile intersection; Gaussians that fail are dropped before their remaining
+  55 parameters are ever fetched;
+* **fine-grained filter** — for survivors, fetches (and de-quantises) the
+  second half, computes the exact 2D covariance/conic/radius (~427 MACs) and
+  performs the precise tile-intersection test; survivors proceed to sorting
+  and rendering.
+
+The filter also records the MAC and byte accounting used by the HFU energy
+and traffic models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.projection import (
+    ProjectedGaussians,
+    coarse_project_centers,
+    project_gaussians,
+)
+
+#: MACs per Gaussian in the coarse-grained filter (paper, Sec. IV-C).
+COARSE_FILTER_MACS = 55
+
+#: MACs per Gaussian in the fine-grained filter (paper, Sec. IV-C).
+FINE_FILTER_MACS = 427
+
+
+@dataclass
+class FilterStats:
+    """Accounting of one hierarchical-filter invocation (or an accumulation)."""
+
+    gaussians_in: int = 0
+    coarse_tested: int = 0
+    coarse_passed: int = 0
+    fine_tested: int = 0
+    fine_passed: int = 0
+    coarse_macs: int = 0
+    fine_macs: int = 0
+
+    def merge(self, other: "FilterStats") -> "FilterStats":
+        """Element-wise sum (accumulate over voxels / tiles / frames)."""
+        return FilterStats(
+            gaussians_in=self.gaussians_in + other.gaussians_in,
+            coarse_tested=self.coarse_tested + other.coarse_tested,
+            coarse_passed=self.coarse_passed + other.coarse_passed,
+            fine_tested=self.fine_tested + other.fine_tested,
+            fine_passed=self.fine_passed + other.fine_passed,
+            coarse_macs=self.coarse_macs + other.coarse_macs,
+            fine_macs=self.fine_macs + other.fine_macs,
+        )
+
+    @property
+    def coarse_reject_rate(self) -> float:
+        """Fraction of tested Gaussians rejected by the coarse filter."""
+        if self.coarse_tested == 0:
+            return 0.0
+        return 1.0 - self.coarse_passed / self.coarse_tested
+
+    @property
+    def overall_reduction(self) -> float:
+        """Fraction of loaded Gaussians removed before sorting/rendering.
+
+        The paper reports 76.3 % for the combined coarse + fine filtering.
+        """
+        if self.gaussians_in == 0:
+            return 0.0
+        return 1.0 - self.fine_passed / self.gaussians_in
+
+    @property
+    def total_macs(self) -> int:
+        return self.coarse_macs + self.fine_macs
+
+
+def _overlaps_tile(
+    means2d: np.ndarray,
+    radii: np.ndarray,
+    depths: np.ndarray,
+    tile_bounds: Tuple[int, int, int, int],
+    near: float,
+) -> np.ndarray:
+    """AABB test of Gaussian footprints against a pixel-tile rectangle."""
+    x0, y0, x1, y1 = tile_bounds
+    in_front = depths > near
+    overlap_x = (means2d[:, 0] + radii >= x0) & (means2d[:, 0] - radii < x1)
+    overlap_y = (means2d[:, 1] + radii >= y0) & (means2d[:, 1] - radii < y1)
+    return in_front & overlap_x & overlap_y
+
+
+@dataclass
+class FilterResult:
+    """Outcome of filtering one voxel's Gaussians against one tile."""
+
+    indices: np.ndarray                    # model indices that passed both phases
+    projected: ProjectedGaussians          # precise projection of the survivors
+    stats: FilterStats = field(default_factory=FilterStats)
+
+
+class HierarchicalFilter:
+    """The coarse + fine filtering pipeline of the HFU.
+
+    Parameters
+    ----------
+    use_coarse_filter:
+        When False (the paper's "w/o CGF" variants), every Gaussian of the
+        voxel goes straight to the fine-grained phase, paying the full
+        427-MAC projection and the full second-half fetch.
+    sh_degree:
+        SH degree used when the fine phase computes RGB values.
+    """
+
+    def __init__(self, use_coarse_filter: bool = True, sh_degree: int = 3) -> None:
+        self.use_coarse_filter = use_coarse_filter
+        self.sh_degree = sh_degree
+
+    def filter_voxel(
+        self,
+        model: GaussianModel,
+        voxel_indices: np.ndarray,
+        camera: Camera,
+        tile_bounds: Tuple[int, int, int, int],
+    ) -> FilterResult:
+        """Filter the Gaussians of one voxel against one image tile.
+
+        Parameters
+        ----------
+        model:
+            The full scene model (the voxel's Gaussians are selected from it).
+        voxel_indices:
+            Model indices of the Gaussians stored in the streamed voxel.
+        camera:
+            The rendering camera.
+        tile_bounds:
+            Pixel rectangle ``(x0, y0, x1, y1)`` of the current tile.
+        """
+        voxel_indices = np.asarray(voxel_indices, dtype=np.int64)
+        stats = FilterStats(gaussians_in=len(voxel_indices))
+        if len(voxel_indices) == 0:
+            return FilterResult(
+                indices=voxel_indices,
+                projected=project_gaussians(model, camera, indices=voxel_indices),
+                stats=stats,
+            )
+
+        candidates = voxel_indices
+        if self.use_coarse_filter:
+            means2d, depths, coarse_radii = coarse_project_centers(
+                model.positions[voxel_indices],
+                model.max_scales[voxel_indices],
+                camera,
+            )
+            passed = _overlaps_tile(
+                means2d, coarse_radii, depths, tile_bounds, camera.near
+            )
+            stats.coarse_tested = len(voxel_indices)
+            stats.coarse_macs = COARSE_FILTER_MACS * len(voxel_indices)
+            stats.coarse_passed = int(np.count_nonzero(passed))
+            candidates = voxel_indices[passed]
+
+        stats.fine_tested = len(candidates)
+        stats.fine_macs = FINE_FILTER_MACS * len(candidates)
+        projected = project_gaussians(
+            model, camera, sh_degree=self.sh_degree, indices=candidates
+        )
+        fine_pass = projected.valid & _overlaps_tile(
+            projected.means2d,
+            projected.radii,
+            projected.depths,
+            tile_bounds,
+            camera.near,
+        )
+        stats.fine_passed = int(np.count_nonzero(fine_pass))
+
+        survivor_mask = fine_pass
+        survivors = candidates[survivor_mask]
+        projected_survivors = ProjectedGaussians(
+            means2d=projected.means2d[survivor_mask],
+            depths=projected.depths[survivor_mask],
+            conics=projected.conics[survivor_mask],
+            radii=projected.radii[survivor_mask],
+            colors=projected.colors[survivor_mask],
+            opacities=projected.opacities[survivor_mask],
+            valid=projected.valid[survivor_mask],
+        )
+        return FilterResult(
+            indices=survivors, projected=projected_survivors, stats=stats
+        )
+
+    # ------------------------------------------------------------------
+    def coarse_filter_soundness_check(
+        self,
+        model: GaussianModel,
+        voxel_indices: np.ndarray,
+        camera: Camera,
+        tile_bounds: Tuple[int, int, int, int],
+    ) -> bool:
+        """True when no Gaussian rejected by the coarse phase would pass the fine phase.
+
+        Used by the property-based tests: the coarse radius is a conservative
+        over-approximation, so coarse rejection must imply fine rejection.
+        """
+        voxel_indices = np.asarray(voxel_indices, dtype=np.int64)
+        if len(voxel_indices) == 0:
+            return True
+        means2d, depths, coarse_radii = coarse_project_centers(
+            model.positions[voxel_indices], model.max_scales[voxel_indices], camera
+        )
+        coarse_pass = _overlaps_tile(
+            means2d, coarse_radii, depths, tile_bounds, camera.near
+        )
+        rejected = voxel_indices[~coarse_pass]
+        if len(rejected) == 0:
+            return True
+        projected = project_gaussians(
+            model, camera, sh_degree=0, indices=rejected
+        )
+        fine_pass = projected.valid & _overlaps_tile(
+            projected.means2d,
+            projected.radii,
+            projected.depths,
+            tile_bounds,
+            camera.near,
+        )
+        return not bool(np.any(fine_pass))

@@ -1,0 +1,174 @@
+"""Ray/voxel intersection and the per-tile voxel ordering table (Fig. 5).
+
+For every pixel group the VSU samples rays through (a subset of) its pixels
+and records, per ray, the front-to-back sequence of non-empty voxels the ray
+passes through.  This module provides an exact amanatides-woo style 3D-DDA
+traversal plus the ordering-table construction the topological sort consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.voxel_grid import VoxelGrid
+from repro.gaussians.camera import Camera
+
+
+def _ray_box_intersection(
+    origin: np.ndarray, direction: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> Tuple[float, float]:
+    """Entry/exit parameters of a ray against an AABB (slab method).
+
+    Returns ``(t_enter, t_exit)``; the ray misses the box when
+    ``t_enter > t_exit`` or ``t_exit < 0``.
+    """
+    inv = np.where(np.abs(direction) < 1e-12, np.inf, 1.0 / direction)
+    t0 = (lo - origin) * inv
+    t1 = (hi - origin) * inv
+    t_near = np.minimum(t0, t1)
+    t_far = np.maximum(t0, t1)
+    return float(np.max(t_near)), float(np.min(t_far))
+
+
+def traverse_ray(
+    grid: VoxelGrid,
+    origin: np.ndarray,
+    direction: np.ndarray,
+    max_voxels: int = 512,
+    include_empty: bool = False,
+) -> List[int]:
+    """Front-to-back list of voxel ids a ray traverses (3D-DDA).
+
+    Parameters
+    ----------
+    grid:
+        The voxel grid.
+    origin, direction:
+        Ray origin and (not necessarily unit) direction in world space.
+    max_voxels:
+        Traversal length bound.
+    include_empty:
+        If True, raw (spatial) ids of *all* traversed voxels are returned;
+        otherwise only non-empty voxels are returned, as renamed ids — this
+        is what the VSU's renaming table produces.
+
+    Returns
+    -------
+    List of voxel ids ordered front-to-back along the ray.
+    """
+    origin = np.asarray(origin, dtype=np.float64)
+    direction = np.asarray(direction, dtype=np.float64)
+    norm = np.linalg.norm(direction)
+    if norm < 1e-12:
+        raise ValueError("ray direction must be non-zero")
+    direction = direction / norm
+
+    grid_lo = grid.origin
+    grid_hi = grid.origin + grid.dims * grid.voxel_size
+    t_enter, t_exit = _ray_box_intersection(origin, direction, grid_lo, grid_hi)
+    if t_enter > t_exit or t_exit < 0.0:
+        return []
+    t_current = max(t_enter, 0.0) + 1e-9
+
+    position = origin + t_current * direction
+    coords = np.floor((position - grid_lo) / grid.voxel_size).astype(np.int64)
+    coords = np.clip(coords, 0, grid.dims - 1)
+
+    step = np.where(direction > 0, 1, np.where(direction < 0, -1, 0)).astype(np.int64)
+    with np.errstate(divide="ignore"):
+        inv_dir = np.where(np.abs(direction) < 1e-12, np.inf, 1.0 / direction)
+    next_boundary = grid_lo + (coords + (step > 0)) * grid.voxel_size
+    t_max = np.where(
+        step == 0, np.inf, (next_boundary - origin) * inv_dir
+    )
+    t_delta = np.where(step == 0, np.inf, grid.voxel_size * np.abs(inv_dir))
+
+    visited: List[int] = []
+    for _ in range(max_voxels):
+        raw_id = int(
+            coords[0] + grid.dims[0] * (coords[1] + grid.dims[1] * coords[2])
+        )
+        if include_empty:
+            visited.append(raw_id)
+        else:
+            renamed = grid.rename(raw_id)
+            if renamed >= 0:
+                visited.append(renamed)
+        axis = int(np.argmin(t_max))
+        if t_max[axis] > t_exit:
+            break
+        coords[axis] += step[axis]
+        if coords[axis] < 0 or coords[axis] >= grid.dims[axis]:
+            break
+        t_max[axis] += t_delta[axis]
+    return visited
+
+
+@dataclass
+class VoxelOrderingTable:
+    """The per-ray voxel rendering orders of one pixel group (Fig. 5).
+
+    Attributes
+    ----------
+    per_ray_orders:
+        One front-to-back renamed-voxel-id list per sampled ray.
+    rays_sampled:
+        Number of rays that were traced.
+    unique_voxels:
+        Sorted array of all voxels that appear in any ray's order.
+    """
+
+    per_ray_orders: List[List[int]]
+    rays_sampled: int
+
+    @property
+    def unique_voxels(self) -> np.ndarray:
+        seen = set()
+        for order in self.per_ray_orders:
+            seen.update(order)
+        return np.array(sorted(seen), dtype=np.int64)
+
+    @property
+    def total_entries(self) -> int:
+        """Total number of (ray, voxel) entries — the VSU's table size."""
+        return sum(len(order) for order in self.per_ray_orders)
+
+
+def voxel_ordering_table(
+    grid: VoxelGrid,
+    camera: Camera,
+    tile_bounds: Tuple[int, int, int, int],
+    ray_stride: int = 4,
+    max_voxels_per_ray: int = 512,
+) -> VoxelOrderingTable:
+    """Build the voxel ordering table for one pixel group (image tile).
+
+    Rays are sampled on a regular grid with ``ray_stride`` spacing inside the
+    tile; the tile's corner pixels are always included so the traversed voxel
+    set covers the tile's whole frustum footprint.
+    """
+    x0, y0, x1, y1 = tile_bounds
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError("empty tile bounds")
+    xs = list(range(x0, x1, ray_stride))
+    ys = list(range(y0, y1, ray_stride))
+    if (x1 - 1) not in xs:
+        xs.append(x1 - 1)
+    if (y1 - 1) not in ys:
+        ys.append(y1 - 1)
+    pixel_x, pixel_y = np.meshgrid(np.array(xs), np.array(ys))
+    origins, directions = camera.pixel_rays(pixel_x.reshape(-1), pixel_y.reshape(-1))
+
+    per_ray_orders: List[List[int]] = []
+    for origin, direction in zip(origins, directions):
+        order = traverse_ray(
+            grid, origin, direction, max_voxels=max_voxels_per_ray
+        )
+        if order:
+            per_ray_orders.append(order)
+    return VoxelOrderingTable(
+        per_ray_orders=per_ray_orders, rays_sampled=len(origins)
+    )

@@ -1,0 +1,158 @@
+"""Global voxel rendering order via DAG construction and topological sort.
+
+Pixels within one group intersect different (but overlapping) voxel
+sequences; the paper merges the per-ray orders into a dependency graph —
+an edge ``u -> v`` means some ray renders voxel ``u`` before voxel ``v`` —
+and establishes a single global order with Kahn's topological sort
+(Sec. III-B, reference [22]).  When rays disagree (the graph has a cycle,
+which can happen for voxels at nearly identical depth seen from different
+pixels), the cycle is broken by releasing the voxel closest to the camera,
+which is the depth-correct choice for the pixels that matter most.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+
+@dataclass
+class VoxelOrderResult:
+    """Result of the global voxel ordering."""
+
+    order: List[int]                 # global rendering order (renamed voxel ids)
+    num_nodes: int
+    num_edges: int
+    cycles_broken: int
+    in_degree_table: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def is_valid_permutation(self) -> bool:
+        """True when every input voxel appears exactly once in the order."""
+        return len(self.order) == self.num_nodes and len(set(self.order)) == len(
+            self.order
+        )
+
+
+def build_dependency_graph(
+    per_ray_orders: Sequence[Sequence[int]],
+) -> Dict[int, Set[int]]:
+    """Adjacency table (source -> set of destinations) from per-ray orders.
+
+    Consecutive voxels of each ray contribute one edge; this is the adjacent
+    table the VSU builds in hardware (Fig. 10).
+    """
+    adjacency: Dict[int, Set[int]] = {}
+    for order in per_ray_orders:
+        for src, dst in zip(order[:-1], order[1:]):
+            if src == dst:
+                continue
+            adjacency.setdefault(src, set()).add(dst)
+            adjacency.setdefault(dst, set())
+        if order:
+            adjacency.setdefault(order[0], set())
+            adjacency.setdefault(order[-1], set())
+    return adjacency
+
+
+def topological_voxel_order(
+    per_ray_orders: Sequence[Sequence[int]],
+    voxel_depths: Optional[Dict[int, float]] = None,
+) -> VoxelOrderResult:
+    """Kahn's algorithm over the per-ray dependency graph.
+
+    Parameters
+    ----------
+    per_ray_orders:
+        Front-to-back voxel id sequences, one per sampled ray.
+    voxel_depths:
+        Optional per-voxel depth used two ways: as the tie-break priority so
+        voxels whose order is unconstrained are still released front-to-back,
+        and to pick the victim when a dependency cycle has to be broken.
+
+    Returns
+    -------
+    :class:`VoxelOrderResult` whose ``order`` contains every voxel appearing
+    in any ray exactly once.
+    """
+    adjacency = build_dependency_graph(per_ray_orders)
+    if not adjacency:
+        return VoxelOrderResult(order=[], num_nodes=0, num_edges=0, cycles_broken=0)
+
+    in_degree: Dict[int, int] = {node: 0 for node in adjacency}
+    num_edges = 0
+    for src, dsts in adjacency.items():
+        for dst in dsts:
+            in_degree[dst] += 1
+            num_edges += 1
+
+    def priority(node: int) -> float:
+        if voxel_depths is not None and node in voxel_depths:
+            return float(voxel_depths[node])
+        return float(node)
+
+    ready = [(priority(node), node) for node, deg in in_degree.items() if deg == 0]
+    heapq.heapify(ready)
+    order: List[int] = []
+    remaining = set(adjacency)
+    cycles_broken = 0
+
+    while remaining:
+        if not ready:
+            # Cycle: release the shallowest remaining voxel.
+            victim = min(remaining, key=priority)
+            ready = [(priority(victim), victim)]
+            in_degree[victim] = 0
+            cycles_broken += 1
+        _, node = heapq.heappop(ready)
+        if node not in remaining:
+            continue
+        order.append(node)
+        remaining.discard(node)
+        for dst in adjacency[node]:
+            if dst in remaining:
+                in_degree[dst] -= 1
+                if in_degree[dst] == 0:
+                    heapq.heappush(ready, (priority(dst), dst))
+
+    return VoxelOrderResult(
+        order=order,
+        num_nodes=len(adjacency),
+        num_edges=num_edges,
+        cycles_broken=cycles_broken,
+        in_degree_table=in_degree,
+    )
+
+
+def order_violation_count(
+    order: Sequence[int], per_ray_orders: Sequence[Sequence[int]]
+) -> int:
+    """Number of per-ray precedence constraints violated by ``order``.
+
+    Zero when the dependency graph is acyclic; used by tests and by the
+    cycle-breaking statistics.
+    """
+    position = {voxel: i for i, voxel in enumerate(order)}
+    violations = 0
+    for ray_order in per_ray_orders:
+        for src, dst in zip(ray_order[:-1], ray_order[1:]):
+            if src == dst:
+                continue
+            if src in position and dst in position and position[src] > position[dst]:
+                violations += 1
+    return violations
+
+
+def voxel_depth_map(grid, camera) -> Dict[int, float]:
+    """Camera-space depth of every voxel centre (topological-sort tie-break)."""
+    depths: Dict[int, float] = {}
+    centers = np.array([grid.voxel_center(v) for v in range(grid.num_voxels)])
+    if len(centers) == 0:
+        return depths
+    cam = camera.world_to_camera(centers)
+    for voxel_id, depth in enumerate(cam[:, 2]):
+        depths[voxel_id] = float(depth)
+    return depths

@@ -1,0 +1,243 @@
+"""Procedural Gaussian-cloud generators.
+
+Two families of layouts mirror the two families of scenes in the paper's
+evaluation:
+
+* *object* scenes (Lego, Palace) — a compact, structured object centred at
+  the origin with a modest extent (voxel size 0.4 in the paper);
+* *room / outdoor* scenes (Train, Truck, Playroom, Drjohnson) — a large
+  extent with a ground plane, several object clusters and a sparse
+  background shell (voxel size 2 in the paper).
+
+The generators only use a seeded :class:`numpy.random.Generator`, so every
+scene is fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.gaussians.model import GaussianModel, SH_REST_COEFFS
+from repro.gaussians.sh import rgb_to_sh_dc
+
+#: Colour palettes (RGB in [0, 1]) used to give each cluster a coherent hue.
+_OBJECT_PALETTE = np.array(
+    [
+        [0.85, 0.70, 0.20],
+        [0.20, 0.45, 0.80],
+        [0.75, 0.25, 0.25],
+        [0.25, 0.70, 0.35],
+        [0.80, 0.80, 0.85],
+        [0.55, 0.35, 0.75],
+        [0.95, 0.55, 0.15],
+        [0.35, 0.75, 0.75],
+    ]
+)
+
+_ROOM_PALETTE = np.array(
+    [
+        [0.55, 0.50, 0.45],
+        [0.35, 0.40, 0.30],
+        [0.65, 0.60, 0.55],
+        [0.45, 0.35, 0.30],
+        [0.30, 0.35, 0.45],
+        [0.70, 0.65, 0.50],
+        [0.50, 0.55, 0.60],
+        [0.25, 0.30, 0.25],
+    ]
+)
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """Parameters controlling procedural scene generation."""
+
+    num_gaussians: int
+    extent: float
+    layout: str  # "object" or "room"
+    num_clusters: int = 24
+    scale_fraction: float = 0.01  # mean Gaussian scale as a fraction of extent
+    opacity_mean: float = 0.7
+    sh_rest_std: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_gaussians <= 0:
+            raise ValueError("num_gaussians must be positive")
+        if self.extent <= 0:
+            raise ValueError("extent must be positive")
+        if self.layout not in ("object", "room"):
+            raise ValueError(f"unknown layout {self.layout!r}")
+
+
+def _random_quaternions(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Uniformly distributed unit quaternions (Shoemake's method)."""
+    u1, u2, u3 = rng.random(n), rng.random(n), rng.random(n)
+    q = np.stack(
+        [
+            np.sqrt(1 - u1) * np.sin(2 * np.pi * u2),
+            np.sqrt(1 - u1) * np.cos(2 * np.pi * u2),
+            np.sqrt(u1) * np.sin(2 * np.pi * u3),
+            np.sqrt(u1) * np.cos(2 * np.pi * u3),
+        ],
+        axis=1,
+    )
+    return q
+
+
+def _cluster_colours(
+    rng: np.random.Generator, assignments: np.ndarray, palette: np.ndarray
+) -> np.ndarray:
+    """Per-Gaussian base colours: the cluster's palette colour plus jitter."""
+    base = palette[assignments % len(palette)]
+    jitter = rng.normal(0.0, 0.06, size=base.shape)
+    return np.clip(base + jitter, 0.02, 0.98)
+
+
+def _finalize(
+    rng: np.random.Generator,
+    positions: np.ndarray,
+    assignments: np.ndarray,
+    spec: SceneSpec,
+    palette: np.ndarray,
+    scale_multipliers: Optional[np.ndarray] = None,
+) -> GaussianModel:
+    """Assemble a :class:`GaussianModel` from sampled positions."""
+    n = len(positions)
+    mean_scale = spec.scale_fraction * spec.extent
+    scales = rng.lognormal(np.log(mean_scale), 0.35, size=(n, 3))
+    # Mild anisotropy: stretch one random axis.
+    stretch_axis = rng.integers(0, 3, size=n)
+    stretch = rng.uniform(1.2, 2.5, size=n)
+    scales[np.arange(n), stretch_axis] *= stretch
+    if scale_multipliers is not None:
+        scales *= scale_multipliers[:, None]
+    rotations = _random_quaternions(rng, n)
+    opacities = np.clip(
+        rng.beta(4.0, 4.0 * (1.0 - spec.opacity_mean) / spec.opacity_mean, size=n),
+        0.05,
+        0.99,
+    )
+    rgb = _cluster_colours(rng, assignments, palette)
+    sh_dc = rgb_to_sh_dc(rgb)
+    sh_rest = rng.normal(0.0, spec.sh_rest_std, size=(n, SH_REST_COEFFS, 3))
+    return GaussianModel(
+        positions=positions,
+        scales=scales,
+        rotations=rotations,
+        opacities=opacities,
+        sh_dc=sh_dc,
+        sh_rest=sh_rest,
+    )
+
+
+def generate_object_scene(spec: SceneSpec) -> GaussianModel:
+    """A compact object-style scene (Synthetic-NeRF / Synthetic-NSVF stand-in).
+
+    Gaussians are arranged in dense clusters on the surface of a structured
+    object (stacked boxes plus a base plate) so the cloud has the strongly
+    non-uniform spatial density of a trained synthetic-scene checkpoint.
+    """
+    rng = np.random.default_rng(spec.seed)
+    half = spec.extent / 2.0
+    n = spec.num_gaussians
+
+    cluster_centres = rng.uniform(-0.7 * half, 0.7 * half, size=(spec.num_clusters, 3))
+    cluster_centres[:, 2] = np.abs(cluster_centres[:, 2]) * 0.8  # above the base
+    cluster_sizes = rng.uniform(0.08, 0.25, size=spec.num_clusters) * half
+
+    # 80 % of the Gaussians form the object clusters, 20 % form a base plate.
+    n_clustered = int(0.8 * n)
+    n_base = n - n_clustered
+    assignments = rng.integers(0, spec.num_clusters, size=n_clustered)
+    offsets = rng.normal(0.0, 1.0, size=(n_clustered, 3)) * cluster_sizes[assignments][:, None]
+    clustered = cluster_centres[assignments] + offsets
+
+    base_xy = rng.uniform(-half, half, size=(n_base, 2))
+    base_z = rng.normal(-0.55 * half, 0.02 * half, size=(n_base, 1))
+    base = np.concatenate([base_xy, base_z], axis=1)
+    base_assign = np.full(n_base, spec.num_clusters, dtype=np.int64)
+
+    positions = np.concatenate([clustered, base])
+    positions = np.clip(positions, -half, half)
+    assignments = np.concatenate([assignments, base_assign])
+    return _finalize(rng, positions, assignments, spec, _OBJECT_PALETTE)
+
+
+def generate_room_scene(spec: SceneSpec) -> GaussianModel:
+    """A large real-world style scene (Tanks&Temples / Deep Blending stand-in).
+
+    The layout combines a ground plane, a central subject made of several
+    clusters, surrounding furniture/structure clusters and a sparse distant
+    background shell — approximating the density profile of an unbounded
+    real-world reconstruction.
+    """
+    rng = np.random.default_rng(spec.seed)
+    half = spec.extent / 2.0
+    n = spec.num_gaussians
+
+    n_ground = int(0.25 * n)
+    n_subject = int(0.35 * n)
+    n_clutter = int(0.25 * n)
+    n_shell = n - n_ground - n_subject - n_clutter
+
+    # Ground plane.
+    ground_xy = rng.uniform(-half, half, size=(n_ground, 2))
+    ground_z = rng.normal(0.0, 0.01 * half, size=(n_ground, 1))
+    ground = np.concatenate([ground_xy, ground_z], axis=1)
+    ground_assign = np.zeros(n_ground, dtype=np.int64)
+
+    # Central subject (e.g. the train / truck), elongated along x.
+    subject_centres = rng.uniform(-0.25 * half, 0.25 * half, size=(8, 3))
+    subject_centres[:, 0] *= 2.0
+    subject_centres[:, 2] = rng.uniform(0.03, 0.25, size=8) * half
+    subj_assign = rng.integers(0, 8, size=n_subject)
+    subj_sizes = rng.uniform(0.04, 0.12, size=8) * half
+    subject = subject_centres[subj_assign] + rng.normal(
+        0.0, 1.0, size=(n_subject, 3)
+    ) * subj_sizes[subj_assign][:, None]
+    subject[:, 2] = np.abs(subject[:, 2])
+
+    # Clutter clusters around the subject.
+    clutter_centres = rng.uniform(-0.8 * half, 0.8 * half, size=(spec.num_clusters, 3))
+    clutter_centres[:, 2] = rng.uniform(0.0, 0.3, size=spec.num_clusters) * half
+    clut_assign = rng.integers(0, spec.num_clusters, size=n_clutter)
+    clut_sizes = rng.uniform(0.05, 0.2, size=spec.num_clusters) * half
+    clutter = clutter_centres[clut_assign] + rng.normal(
+        0.0, 1.0, size=(n_clutter, 3)
+    ) * clut_sizes[clut_assign][:, None]
+
+    # Sparse background shell (walls / far geometry), larger Gaussians.
+    shell_dirs = rng.normal(0.0, 1.0, size=(n_shell, 3))
+    shell_dirs /= np.linalg.norm(shell_dirs, axis=1, keepdims=True)
+    shell_dirs[:, 2] = np.abs(shell_dirs[:, 2]) * 0.6
+    shell_radius = rng.uniform(0.85, 1.0, size=(n_shell, 1)) * half
+    shell = shell_dirs * shell_radius
+    shell_assign = np.full(n_shell, 1, dtype=np.int64)
+
+    positions = np.concatenate([ground, subject, clutter, shell])
+    positions = np.clip(positions, -half, half)
+    assignments = np.concatenate(
+        [ground_assign, subj_assign + 2, clut_assign + 10, shell_assign]
+    )
+    scale_multipliers = np.concatenate(
+        [
+            np.full(n_ground, 1.5),
+            np.full(n_subject, 1.0),
+            np.full(n_clutter, 1.2),
+            np.full(n_shell, 3.0),
+        ]
+    )
+    return _finalize(
+        rng, positions, assignments, spec, _ROOM_PALETTE, scale_multipliers
+    )
+
+
+def generate_scene(spec: SceneSpec) -> GaussianModel:
+    """Dispatch to the generator matching ``spec.layout``."""
+    if spec.layout == "object":
+        return generate_object_scene(spec)
+    return generate_room_scene(spec)

@@ -1,0 +1,38 @@
+"""Fine-tuning machinery: optimizers, losses and boundary-aware fine-tuning.
+
+The paper fine-tunes every trained scene twice before deployment:
+
+* 3 000 iterations of **boundary-aware fine-tuning** (Sec. III-B) that
+  penalises Gaussians spanning voxel boundaries so voxel-by-voxel rendering
+  preserves depth order (Fig. 6/7);
+* 5 000 iterations of **quantization-aware fine-tuning** (Sec. III-C,
+  implemented in :mod:`repro.compression.quantization_aware`).
+
+PyTorch autograd is unavailable in this environment, so the boundary-aware
+stage is realised with analytic gradients of the cross-boundary penalty and
+a parameter-space trust region standing in for the photometric loss — see
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.training.optimizer import Adam, SGD
+from repro.training.losses import (
+    combined_photometric_loss,
+    cross_boundary_penalty,
+    l1_loss,
+    total_loss,
+)
+from repro.training.boundary_finetune import (
+    BoundaryFinetuneResult,
+    boundary_aware_finetune,
+)
+
+__all__ = [
+    "Adam",
+    "SGD",
+    "combined_photometric_loss",
+    "cross_boundary_penalty",
+    "l1_loss",
+    "total_loss",
+    "BoundaryFinetuneResult",
+    "boundary_aware_finetune",
+]

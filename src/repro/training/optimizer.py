@@ -1,0 +1,92 @@
+"""Small NumPy optimizers (SGD and Adam) over named parameter groups.
+
+Used by the fine-tuning loops; the interface mirrors the familiar
+``step(params, grads)`` pattern so the surrogate gradients of the
+boundary-aware fine-tuning and any future photometric gradients plug in
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+ParamDict = Dict[str, np.ndarray]
+
+
+class SGD:
+    """Plain (optionally momentum) stochastic gradient descent."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: ParamDict = {}
+
+    def step(self, params: ParamDict, grads: ParamDict) -> ParamDict:
+        """Return updated parameters (inputs are not modified)."""
+        updated: ParamDict = {}
+        for name, value in params.items():
+            grad = grads.get(name)
+            if grad is None:
+                updated[name] = value.copy()
+                continue
+            grad = np.asarray(grad, dtype=np.float64)
+            if self.momentum > 0.0:
+                velocity = self._velocity.get(name, np.zeros_like(grad))
+                velocity = self.momentum * velocity - self.learning_rate * grad
+                self._velocity[name] = velocity
+                updated[name] = value + velocity
+            else:
+                updated[name] = value - self.learning_rate * grad
+        return updated
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) over named parameter arrays."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: ParamDict = {}
+        self._v: ParamDict = {}
+        self._t = 0
+
+    def step(self, params: ParamDict, grads: ParamDict) -> ParamDict:
+        """Return updated parameters (inputs are not modified)."""
+        self._t += 1
+        updated: ParamDict = {}
+        for name, value in params.items():
+            grad = grads.get(name)
+            if grad is None:
+                updated[name] = value.copy()
+                continue
+            grad = np.asarray(grad, dtype=np.float64)
+            m = self._m.get(name, np.zeros_like(grad))
+            v = self._v.get(name, np.zeros_like(grad))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[name] = m
+            self._v[name] = v
+            m_hat = m / (1.0 - self.beta1 ** self._t)
+            v_hat = v / (1.0 - self.beta2 ** self._t)
+            updated[name] = value - self.learning_rate * m_hat / (
+                np.sqrt(v_hat) + self.epsilon
+            )
+        return updated

@@ -1,0 +1,25 @@
+"""Base 3DGS algorithm variants evaluated in the paper (Table II, Fig. 11).
+
+The paper layers its streaming pipeline on three base algorithms:
+
+* original **3DGS** (the model as trained — identity transform here);
+* **Mini-Splatting** — representing the scene with a constrained number of
+  Gaussians via importance-based simplification;
+* **LightGaussian** — global-significance pruning plus spherical-harmonics
+  distillation.
+
+Both compaction algorithms are re-implemented from their published
+descriptions and operate on :class:`repro.gaussians.model.GaussianModel`.
+"""
+
+from repro.variants.base import BaseAlgorithm, get_algorithm, list_algorithms
+from repro.variants.mini_splatting import MiniSplatting
+from repro.variants.light_gaussian import LightGaussian
+
+__all__ = [
+    "BaseAlgorithm",
+    "get_algorithm",
+    "list_algorithms",
+    "MiniSplatting",
+    "LightGaussian",
+]

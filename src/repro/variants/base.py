@@ -1,0 +1,82 @@
+"""Common interface for base 3DGS algorithm variants."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.projection import project_gaussians
+
+
+class BaseAlgorithm:
+    """A transformation from a trained 3DGS model to a variant model.
+
+    Subclasses implement :meth:`transform`.  The identity subclass represents
+    the original 3DGS pipeline (no compaction).
+    """
+
+    name = "3dgs"
+
+    def transform(
+        self, model: GaussianModel, cameras: Optional[Sequence[Camera]] = None
+    ) -> GaussianModel:
+        """Return the variant's model.  The default is the identity."""
+        return model.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+def gaussian_importance(
+    model: GaussianModel, cameras: Sequence[Camera]
+) -> np.ndarray:
+    """Per-Gaussian importance score used by the compaction algorithms.
+
+    The score approximates each Gaussian's total contribution to the
+    rendered images: opacity times projected screen area, summed over the
+    provided cameras, for Gaussians inside the view frustum.  This is the
+    "global significance" criterion LightGaussian prunes on and a good proxy
+    for Mini-Splatting's blend-weight importance without requiring a full
+    per-pixel accumulation pass.
+    """
+    if not cameras:
+        raise ValueError("at least one camera is required to score importance")
+    scores = np.zeros(len(model), dtype=np.float64)
+    for camera in cameras:
+        projected = project_gaussians(model, camera, sh_degree=0)
+        area = np.pi * np.square(projected.radii)
+        contribution = projected.opacities * area
+        scores += np.where(projected.valid, contribution, 0.0)
+    return scores
+
+
+_REGISTRY: Dict[str, BaseAlgorithm] = {}
+
+
+def register_algorithm(algorithm: BaseAlgorithm) -> BaseAlgorithm:
+    """Add an algorithm instance to the global registry."""
+    _REGISTRY[algorithm.name] = algorithm
+    return algorithm
+
+
+def get_algorithm(name: str) -> BaseAlgorithm:
+    """Look up a registered algorithm by name (``3dgs``, ``mini_splatting``, ...)."""
+    # Imported lazily so the registry is populated without import cycles.
+    from repro.variants import mini_splatting, light_gaussian  # noqa: F401
+
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def list_algorithms() -> List[str]:
+    """Names of all registered algorithms."""
+    from repro.variants import mini_splatting, light_gaussian  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+register_algorithm(BaseAlgorithm())

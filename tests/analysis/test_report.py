@@ -1,0 +1,41 @@
+"""Tests for the experiment result formatting helpers."""
+
+from repro.analysis.report import format_series, format_table
+
+
+def test_format_table_basic():
+    text = format_table(
+        ["scene", "value"],
+        [["lego", 1.2345], ["truck", 10000.0]],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "scene" in lines[1] and "value" in lines[1]
+    assert any("lego" in line and "1.23" in line for line in lines)
+    assert any("truck" in line for line in lines)
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "b"], [["x", 1], ["longer", 2]])
+    rows = text.splitlines()[2:]
+    assert len(set(len(r.rstrip()) > 0 for r in rows)) == 1
+
+
+def test_format_table_small_and_zero_values():
+    text = format_table(["v"], [[0.0], [0.0001], [123456.0]])
+    assert "0" in text
+    assert "0.0001" in text or "1e-04" in text
+
+
+def test_format_series():
+    text = format_series(
+        {"energy": [1.0, 2.0], "psnr": [20.0, 21.0]},
+        "voxel",
+        [0.5, 1.0],
+        title="sweep",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "sweep"
+    assert "voxel" in lines[1] and "energy" in lines[1] and "psnr" in lines[1]
+    assert len(lines) == 2 + 1 + 2  # title + header + rule + 2 rows

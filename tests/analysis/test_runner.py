@@ -1,0 +1,49 @@
+"""Tests for the experiment registry / CLI runner."""
+
+import pytest
+
+from repro.analysis.runner import EXPERIMENTS, list_experiments, main, run_experiment
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(list_experiments()) == {
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig7",
+        "tab1",
+        "tab2",
+        "fig11",
+        "fig12",
+        "fig13",
+        "claims",
+    }
+    for experiment in EXPERIMENTS.values():
+        assert experiment.description
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_run_tab1_formats():
+    text = run_experiment("tab1")
+    assert "Table I" in text
+    assert "total" in text
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig11" in out and "tab2" in out
+
+
+def test_cli_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "fig3" in capsys.readouterr().out
+
+
+def test_cli_runs_named_experiment(capsys):
+    assert main(["tab1"]) == 0
+    assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,171 @@
+"""Tests for ray/voxel traversal and the topological voxel ordering."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ray_voxel import traverse_ray, voxel_ordering_table
+from repro.core.voxel_grid import VoxelGrid
+from repro.core.voxel_order import (
+    build_dependency_graph,
+    order_violation_count,
+    topological_voxel_order,
+    voxel_depth_map,
+)
+from tests.conftest import make_camera, make_model
+
+
+@pytest.fixture
+def grid():
+    model = make_model(num_gaussians=500, extent=8.0, seed=6)
+    return VoxelGrid.build(model, voxel_size=2.0)
+
+
+def test_traverse_ray_requires_direction(grid):
+    with pytest.raises(ValueError):
+        traverse_ray(grid, np.zeros(3), np.zeros(3))
+
+
+def test_ray_missing_grid_returns_empty(grid):
+    order = traverse_ray(grid, np.array([100.0, 100.0, 100.0]), np.array([0.0, 0.0, 1.0]))
+    assert order == []
+
+
+def test_traversal_is_front_to_back(grid):
+    origin = np.array([10.0, 0.3, 0.2])
+    direction = np.array([-1.0, 0.0, 0.0])
+    order = traverse_ray(grid, origin, direction)
+    assert len(order) > 0
+    # Distances of visited voxel centres along the ray must be increasing.
+    distances = [np.dot(grid.voxel_center(v) - origin, direction) for v in order]
+    assert all(b >= a - grid.voxel_size for a, b in zip(distances, distances[1:]))
+
+
+def test_traversal_visits_each_voxel_once(grid):
+    origin = np.array([10.0, 0.0, 0.0])
+    direction = np.array([-1.0, 0.05, 0.02])
+    order = traverse_ray(grid, origin, direction)
+    assert len(order) == len(set(order))
+
+
+def test_traversal_include_empty_covers_more(grid):
+    origin = np.array([10.0, 0.0, 0.0])
+    direction = np.array([-1.0, 0.0, 0.0])
+    non_empty = traverse_ray(grid, origin, direction, include_empty=False)
+    all_cells = traverse_ray(grid, origin, direction, include_empty=True)
+    assert len(all_cells) >= len(non_empty)
+
+
+def test_max_voxels_bound(grid):
+    origin = np.array([10.0, 0.0, 0.0])
+    direction = np.array([-1.0, 0.0, 0.0])
+    limited = traverse_ray(grid, origin, direction, max_voxels=2, include_empty=True)
+    assert len(limited) <= 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_traversed_voxels_actually_intersect_ray(seed):
+    model = make_model(num_gaussians=200, extent=6.0, seed=seed)
+    grid = VoxelGrid.build(model, voxel_size=1.5)
+    rng = np.random.default_rng(seed)
+    origin = np.array([8.0, rng.uniform(-2, 2), rng.uniform(-2, 2)])
+    direction = np.array([-1.0, rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3)])
+    direction /= np.linalg.norm(direction)
+    for voxel in traverse_ray(grid, origin, direction):
+        lo, hi = grid.voxel_bounds(voxel)
+        # Slab test: the ray must hit the voxel's AABB.
+        inv = np.where(np.abs(direction) < 1e-12, np.inf, 1.0 / direction)
+        t0, t1 = (lo - origin) * inv, (hi - origin) * inv
+        t_near, t_far = np.minimum(t0, t1).max(), np.maximum(t0, t1).min()
+        assert t_near <= t_far + 1e-6 and t_far >= 0
+
+
+def test_ordering_table_contains_voxels(grid):
+    camera = make_camera(width=32, height=32, distance=8.0)
+    table = voxel_ordering_table(grid, camera, (0, 0, 16, 16), ray_stride=4)
+    assert table.rays_sampled > 0
+    assert table.total_entries == sum(len(order) for order in table.per_ray_orders)
+    assert len(table.unique_voxels) > 0
+
+
+def test_ordering_table_rejects_empty_bounds(grid):
+    camera = make_camera()
+    with pytest.raises(ValueError):
+        voxel_ordering_table(grid, camera, (4, 4, 4, 8))
+
+
+# ---------------------------------------------------------------------------
+# Topological sorting
+# ---------------------------------------------------------------------------
+def test_build_dependency_graph_simple():
+    adjacency = build_dependency_graph([[1, 2, 3], [2, 4]])
+    assert adjacency[1] == {2}
+    assert adjacency[2] == {3, 4}
+    assert adjacency[3] == set()
+    assert adjacency[4] == set()
+
+
+def test_topological_order_respects_constraints():
+    per_ray = [[1, 2, 3], [1, 4, 3], [2, 5]]
+    result = topological_voxel_order(per_ray)
+    assert result.is_valid_permutation
+    assert result.cycles_broken == 0
+    assert order_violation_count(result.order, per_ray) == 0
+
+
+def test_topological_order_empty():
+    result = topological_voxel_order([])
+    assert result.order == []
+    assert result.num_nodes == 0
+
+
+def test_topological_order_breaks_cycles():
+    per_ray = [[1, 2], [2, 1]]
+    result = topological_voxel_order(per_ray, voxel_depths={1: 1.0, 2: 2.0})
+    assert result.cycles_broken >= 1
+    assert result.is_valid_permutation
+    # The shallower voxel should be released first when breaking the tie.
+    assert result.order[0] == 1
+
+
+def test_depth_tiebreak_orders_front_to_back():
+    # No constraints between 7 and 8; depth should decide.
+    per_ray = [[7], [8]]
+    result = topological_voxel_order(per_ray, voxel_depths={7: 5.0, 8: 1.0})
+    assert result.order == [8, 7]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=20),
+    seed=st.integers(0, 1000),
+)
+def test_topological_sort_matches_networkx_on_random_dags(num_nodes, seed):
+    """On random DAGs our Kahn sort must produce a valid topological order."""
+    rng = np.random.default_rng(seed)
+    # Random DAG: edges only from lower to higher node id.
+    per_ray = []
+    for _ in range(num_nodes):
+        path_length = int(rng.integers(2, min(5, num_nodes + 1)))
+        path = sorted(rng.choice(num_nodes, size=path_length, replace=False))
+        per_ray.append(list(path))
+    result = topological_voxel_order(per_ray)
+    assert result.cycles_broken == 0
+    assert order_violation_count(result.order, per_ray) == 0
+    # Cross-check the graph is a DAG with networkx.
+    graph = nx.DiGraph()
+    for order in per_ray:
+        graph.add_nodes_from(order)
+        graph.add_edges_from(zip(order[:-1], order[1:]))
+    assert nx.is_directed_acyclic_graph(graph)
+    assert set(result.order) == set(graph.nodes)
+
+
+def test_voxel_depth_map(grid):
+    camera = make_camera(distance=8.0)
+    depths = voxel_depth_map(grid, camera)
+    assert len(depths) == grid.num_voxels
+    assert all(np.isfinite(list(depths.values())))

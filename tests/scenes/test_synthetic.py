@@ -1,0 +1,76 @@
+"""Tests for the procedural scene generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenes.synthetic import (
+    SceneSpec,
+    generate_object_scene,
+    generate_room_scene,
+    generate_scene,
+)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SceneSpec(num_gaussians=0, extent=1.0, layout="object")
+    with pytest.raises(ValueError):
+        SceneSpec(num_gaussians=10, extent=-1.0, layout="object")
+    with pytest.raises(ValueError):
+        SceneSpec(num_gaussians=10, extent=1.0, layout="weird")
+
+
+@pytest.mark.parametrize("layout", ["object", "room"])
+def test_generate_scene_size_and_bounds(layout):
+    spec = SceneSpec(num_gaussians=500, extent=8.0, layout=layout, seed=5)
+    model = generate_scene(spec)
+    assert len(model) == 500
+    assert np.all(np.abs(model.positions) <= 4.0 + 1e-5)
+    assert np.all(model.scales > 0)
+    assert np.all((model.opacities > 0) & (model.opacities < 1))
+
+
+def test_generation_is_deterministic():
+    spec = SceneSpec(num_gaussians=300, extent=4.0, layout="object", seed=42)
+    a = generate_scene(spec)
+    b = generate_scene(spec)
+    np.testing.assert_array_equal(a.positions, b.positions)
+    np.testing.assert_array_equal(a.sh_dc, b.sh_dc)
+
+
+def test_different_seeds_give_different_scenes():
+    base = SceneSpec(num_gaussians=300, extent=4.0, layout="object", seed=1)
+    other = SceneSpec(num_gaussians=300, extent=4.0, layout="object", seed=2)
+    a = generate_scene(base)
+    b = generate_scene(other)
+    assert not np.allclose(a.positions, b.positions)
+
+
+def test_object_scene_is_clustered():
+    """Object scenes are denser near the cluster centres than uniformly random."""
+    spec = SceneSpec(num_gaussians=2000, extent=4.0, layout="object", seed=3)
+    model = generate_object_scene(spec)
+    # Clustered point sets have a much smaller mean nearest-neighbour
+    # distance than a uniform distribution over the same volume.
+    sample = model.positions[:400]
+    d = np.linalg.norm(sample[:, None, :] - sample[None, :, :], axis=2)
+    np.fill_diagonal(d, np.inf)
+    mean_nn = d.min(axis=1).mean()
+    uniform_nn = 0.55 * (4.0 ** 3 / 400) ** (1 / 3)
+    assert mean_nn < uniform_nn
+
+
+def test_room_scene_has_ground_plane():
+    spec = SceneSpec(num_gaussians=2000, extent=20.0, layout="room", seed=7)
+    model = generate_room_scene(spec)
+    near_ground = np.abs(model.positions[:, 2]) < 0.5
+    assert near_ground.mean() > 0.15
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(min_value=16, max_value=500), seed=st.integers(0, 100))
+def test_scene_sizes_respected(n, seed):
+    spec = SceneSpec(num_gaussians=n, extent=5.0, layout="room", seed=seed)
+    assert len(generate_scene(spec)) == n

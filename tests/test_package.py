@@ -1,0 +1,31 @@
+"""Top-level package surface tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_public_renderers_are_usable(tiny_model, tiny_camera):
+    reference = repro.TileRasterizer().render(tiny_model, tiny_camera)
+    renderer = repro.StreamingRenderer(tiny_model, repro.StreamingConfig(voxel_size=1.5))
+    streaming = renderer.render(tiny_camera)
+    assert reference.image.shape == streaming.image.shape
+
+
+def test_scene_registry_exported():
+    assert "truck" in repro.SCENE_REGISTRY
+    model = repro.build_scene("lego", num_gaussians=64)
+    assert len(model) == 64
+
+
+def test_hardware_models_exported():
+    assert repro.StreamingGSAccelerator().area_mm2() > 0
+    assert repro.OrinNXModel().params.peak_flops > 0
+    assert repro.GSCoreModel().config.num_render_units == 64
