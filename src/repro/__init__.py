@@ -25,6 +25,16 @@ architectural support.  The package is organised as:
 ``repro.training``
     NumPy optimizers and the boundary-aware fine-tuning loss (Sec. III-B).
 
+``repro.engine``
+    The unified render-engine layer both renderers sit on: interchangeable
+    alpha-blending kernels (the per-Gaussian reference loop and a fully
+    vectorized broadcast kernel, selected via
+    ``StreamingConfig.blend_kernel`` / ``TileRasterizer(kernel=...)``),
+    dense array-based per-Gaussian statistics accumulation, the frame
+    preparation cache memoizing view geometry per camera pose, and the
+    batched :class:`~repro.engine.service.RenderService` front-end the
+    analysis harness renders through.
+
 ``repro.core``
     The paper's primary contribution: the memory-centric, fully streaming
     voxel renderer — voxel grid, ray/voxel ordering (DAG + topological
@@ -46,12 +56,13 @@ from repro.gaussians.camera import Camera
 from repro.gaussians.rasterizer import TileRasterizer, RenderOutput
 from repro.core.config import StreamingConfig
 from repro.core.pipeline import StreamingRenderer
+from repro.engine.service import RenderRequest, RenderService
 from repro.scenes.registry import SCENE_REGISTRY, build_scene
 from repro.arch.accelerator import StreamingGSAccelerator
 from repro.arch.gpu import OrinNXModel
 from repro.arch.gscore import GSCoreModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GaussianModel",
@@ -60,6 +71,8 @@ __all__ = [
     "RenderOutput",
     "StreamingConfig",
     "StreamingRenderer",
+    "RenderRequest",
+    "RenderService",
     "SCENE_REGISTRY",
     "build_scene",
     "StreamingGSAccelerator",

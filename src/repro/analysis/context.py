@@ -8,6 +8,11 @@ reference, runs the streaming pipeline and derives the paper-scale workload.
 Contexts are memoised per (scene, algorithm, voxel size, resolution scale)
 so the figure/table experiments and the benchmark suite share them within a
 process.
+
+All rendering goes through the process-wide engine
+:class:`~repro.engine.service.RenderService`, so contexts additionally
+share streaming renderers (voxel grids, layouts, quantizers) and prepared
+frames with any other code rendering the same models and views.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Optional
 from repro.arch.workload import FullScaleWorkload, build_workload
 from repro.core.config import StreamingConfig
 from repro.core.pipeline import StreamingRenderer, StreamingRenderOutput
+from repro.engine.service import RenderRequest, get_default_service
 from repro.gaussians.camera import Camera
 from repro.gaussians.metrics import psnr
 from repro.gaussians.model import GaussianModel
@@ -77,13 +83,21 @@ def _build_context(
     trained = fitted.trained
     ground_truth = fitted.ground_truth
 
-    tile_output = rasterizer.render(trained, camera)
-    baseline_psnr = psnr(ground_truth, tile_output.image)
-
     effective_voxel = voxel_size if voxel_size > 0 else descriptor.default_voxel_size
     config = StreamingConfig(voxel_size=effective_voxel)
-    streaming_renderer = StreamingRenderer(trained, config)
-    streaming_output = streaming_renderer.render(camera)
+
+    service = get_default_service()
+    tile_response, streaming_response = service.render_batch(
+        [
+            RenderRequest(model=trained, camera=camera, config=config, mode="tile"),
+            RenderRequest(model=trained, camera=camera, config=config, mode="streaming"),
+        ]
+    )
+    tile_output = tile_response.output
+    baseline_psnr = psnr(ground_truth, tile_output.image)
+
+    streaming_renderer = service.streaming_renderer(trained, config)
+    streaming_output = streaming_response.output
     streaming_psnr = psnr(ground_truth, streaming_output.image)
 
     workload = build_workload(
@@ -150,5 +164,8 @@ def get_scene_context(
 
 
 def clear_context_cache() -> None:
-    """Drop all memoised contexts (used by tests)."""
+    """Drop all memoised contexts and shared renderers (used by tests)."""
+    from repro.engine.service import reset_default_service
+
     _cached_context.cache_clear()
+    reset_default_service()

@@ -16,9 +16,8 @@ import numpy as np
 from repro.analysis.context import get_scene_context
 from repro.analysis.report import format_table
 from repro.core.config import StreamingConfig
-from repro.core.pipeline import StreamingRenderer
+from repro.engine.service import RenderRequest, RenderService, get_default_service
 from repro.gaussians.metrics import psnr
-from repro.gaussians.rasterizer import TileRasterizer
 from repro.scenes.registry import SCENE_REGISTRY
 from repro.training.boundary_finetune import BoundaryFinetuneResult, boundary_aware_finetune
 from repro.training.color_refinement import dc_color_refinement_step
@@ -219,12 +218,20 @@ def run_fig7(
     config: StreamingConfig = context.streaming_config
     camera = context.camera
     ground_truth = context.ground_truth
-    rasterizer = TileRasterizer()
-    photometric_target = rasterizer.render(context.trained, camera).image
+    photometric_target = get_default_service().render(
+        RenderRequest(model=context.trained, camera=camera, config=config, mode="tile")
+    ).image
+    # Fine-tuning probes render throwaway parameter snapshots (the loop
+    # mutates one model in place between probes, so every probe has a new
+    # content fingerprint and builds a new renderer).  A single-slot local
+    # service keeps them from evicting the shared scene-context renderers
+    # and from outliving the experiment.
+    probe_service = RenderService(max_renderers=1)
 
     def probe(model) -> Tuple[np.ndarray, float, float]:
-        renderer = StreamingRenderer(model, config)
-        output = renderer.render(camera)
+        output = probe_service.render(
+            RenderRequest(model=model, camera=camera, config=config)
+        ).output
         stats = output.stats
         return (
             stats.error_gaussian_indices(),

@@ -21,6 +21,7 @@ from repro.analysis.quality import run_fig7, run_table2
 from repro.analysis.report import format_table
 from repro.analysis.sensitivity import run_fig12, run_fig13
 from repro.arch.area import AreaModel
+from repro.engine.bench import run_kernel_benchmark
 
 
 def _run_tab1() -> "object":
@@ -57,6 +58,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "fig12": Experiment("fig12", "Voxel-size sensitivity", run_fig12),
     "fig13": Experiment("fig13", "CFU/FFU sensitivity", run_fig13),
     "claims": Experiment("claims", "Supporting filtering / VQ claims", run_supporting_claims),
+    "engine": Experiment(
+        "engine", "Blending-kernel micro-benchmark (engine layer)", run_kernel_benchmark
+    ),
 }
 
 

@@ -19,8 +19,17 @@ The subpackage implements the fully streaming algorithm of Sec. III:
 
 from repro.core.config import StreamingConfig
 from repro.core.voxel_grid import VoxelGrid, cross_boundary_mask
-from repro.core.ray_voxel import traverse_ray, voxel_ordering_table
-from repro.core.voxel_order import VoxelOrderResult, topological_voxel_order
+from repro.core.ray_voxel import (
+    ordering_tables_for_tiles,
+    traverse_ray,
+    voxel_ordering_table,
+)
+from repro.core.voxel_order import (
+    VoxelOrderResult,
+    topological_orders_for_tables,
+    topological_voxel_order,
+    voxel_depth_map,
+)
 from repro.core.hierarchical_filter import FilterStats, HierarchicalFilter
 from repro.core.data_layout import DataLayout, LayoutTraffic
 from repro.core.pipeline import StreamingRenderer, StreamingStats
@@ -29,10 +38,13 @@ __all__ = [
     "StreamingConfig",
     "VoxelGrid",
     "cross_boundary_mask",
+    "ordering_tables_for_tiles",
     "traverse_ray",
     "voxel_ordering_table",
     "VoxelOrderResult",
+    "topological_orders_for_tables",
     "topological_voxel_order",
+    "voxel_depth_map",
     "FilterStats",
     "HierarchicalFilter",
     "DataLayout",

@@ -38,6 +38,14 @@ class StreamingConfig:
         Safety bound on traversal length.
     background:
         Background colour composited behind the accumulated radiance.
+    blend_kernel:
+        Name of the engine blending kernel (``"vectorized"`` by default;
+        ``"reference"`` selects the per-Gaussian loop — both are
+        numerically equivalent, see :mod:`repro.engine.kernels`).
+    frame_cache_size:
+        Number of prepared frames (voxel depth map, per-tile ordering
+        tables, topological orders) memoized per camera pose; 0 disables
+        the frame-preparation cache.
     """
 
     voxel_size: float = 2.0
@@ -49,6 +57,8 @@ class StreamingConfig:
     use_vq: bool = True
     max_voxels_per_ray: int = 512
     background: tuple = (0.0, 0.0, 0.0)
+    blend_kernel: str = "vectorized"
+    frame_cache_size: int = 8
 
     def __post_init__(self) -> None:
         if self.voxel_size <= 0:
@@ -63,6 +73,15 @@ class StreamingConfig:
             raise ValueError("sh_degree must be in [0, 3]")
         if self.max_voxels_per_ray <= 0:
             raise ValueError("max_voxels_per_ray must be positive")
+        from repro.engine.kernels import KERNELS
+
+        if self.blend_kernel not in KERNELS:
+            raise ValueError(
+                f"unknown blend_kernel {self.blend_kernel!r}; "
+                f"available: {sorted(KERNELS)}"
+            )
+        if self.frame_cache_size < 0:
+            raise ValueError("frame_cache_size must be non-negative")
 
     def with_options(self, **kwargs) -> "StreamingConfig":
         """A copy with the given fields replaced."""

@@ -11,16 +11,24 @@ For every pixel group (image tile) the renderer:
    alpha blending of *partial* pixel values that stay on-chip;
 4. writes only the final pixel values back to DRAM.
 
+Steps 1 and 2 are pure view geometry, so the renderer memoizes them per
+camera pose in an engine :class:`~repro.engine.cache.FrameCache`; repeated
+renders of the same view (benchmark sweeps, fine-tuning probes, batched
+service requests) skip the traversal and topological sort entirely while
+producing identical statistics.
+
 Besides the image, the renderer produces :class:`StreamingStats` — the
 complete workload description (Gaussians streamed, filter pass rates, DRAM
 bytes by category, per-voxel sort lengths, depth-order violations) that the
-architecture model consumes.
+architecture model consumes.  Per-Gaussian blend/violation weights are held
+in dense NumPy arrays indexed by model Gaussian id and accumulated in place
+by the blending kernels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -28,12 +36,18 @@ from repro.compression.vq import VectorQuantizer
 from repro.core.config import StreamingConfig
 from repro.core.data_layout import DataLayout, LayoutTraffic, render_model
 from repro.core.hierarchical_filter import FilterStats, HierarchicalFilter
-from repro.core.ray_voxel import voxel_ordering_table
+from repro.core.ray_voxel import ordering_tables_for_tiles
 from repro.core.voxel_grid import VoxelGrid
-from repro.core.voxel_order import topological_voxel_order, voxel_depth_map
+from repro.core.voxel_order import (
+    topological_orders_for_tables,
+    voxel_depth_map,
+)
+from repro.engine.cache import FrameCache, FramePreparation, frame_key
+from repro.engine.kernels import TRANSMITTANCE_EPSILON, get_kernel
+from repro.engine.state import BlendState
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
-from repro.gaussians.rasterizer import BlendState, RenderOutput, blend_tile
+from repro.gaussians.rasterizer import RenderOutput
 from repro.gaussians.tiles import TileGrid
 
 
@@ -58,15 +72,23 @@ class StreamingStats:
     rendered_gaussian_slots: int = 0
     depth_order_errors: int = 0
     sort_list_lengths: List[int] = field(default_factory=list)
-    #: Per-Gaussian blended weight and out-of-order blended weight (indexed
-    #: by model Gaussian index) — the data Fig. 7's "error Gaussian ratio"
-    #: and the boundary-aware fine-tuning target selection are computed from.
-    gaussian_blend_weight: Dict[int, float] = field(default_factory=dict)
-    gaussian_violation_weight: Dict[int, float] = field(default_factory=dict)
+    #: (N,) per-Gaussian blended weight and out-of-order blended weight
+    #: (indexed by model Gaussian id) — the data Fig. 7's "error Gaussian
+    #: ratio" and the boundary-aware fine-tuning target selection are
+    #: computed from.  Allocated by the renderer and accumulated in place
+    #: by the blending kernels (no per-voxel copying).
+    gaussian_blend_weight: Optional[np.ndarray] = None
+    gaussian_violation_weight: Optional[np.ndarray] = None
 
     #: Fraction of a Gaussian's blended weight that must be out of order for
     #: the Gaussian to count as an "error Gaussian" (T_i = 1).
     ERROR_WEIGHT_THRESHOLD = 0.05
+
+    def ensure_weight_arrays(self, num_gaussians: int) -> None:
+        """Allocate the per-Gaussian attribution arrays."""
+        if self.gaussian_blend_weight is None:
+            self.gaussian_blend_weight = np.zeros(num_gaussians, dtype=np.float64)
+            self.gaussian_violation_weight = np.zeros(num_gaussians, dtype=np.float64)
 
     @property
     def mean_voxels_per_tile(self) -> float:
@@ -90,12 +112,12 @@ class StreamingStats:
         ``threshold`` of its total blended weight was contributed to pixels
         that had already blended a deeper Gaussian.
         """
-        flagged = []
-        for gid, violation in self.gaussian_violation_weight.items():
-            total = self.gaussian_blend_weight.get(gid, 0.0)
-            if total > 0.0 and violation / total > threshold:
-                flagged.append(gid)
-        return np.array(sorted(flagged), dtype=np.int64)
+        if self.gaussian_violation_weight is None:
+            return np.array([], dtype=np.int64)
+        total = self.gaussian_blend_weight
+        violation = self.gaussian_violation_weight
+        flagged = (total > 0.0) & (violation > threshold * total)
+        return np.flatnonzero(flagged).astype(np.int64)
 
     def top_violating_gaussians(self, coverage: float = 0.9) -> np.ndarray:
         """Model indices of the Gaussians carrying most out-of-order weight.
@@ -108,25 +130,21 @@ class StreamingStats:
         """
         if not 0.0 < coverage <= 1.0:
             raise ValueError("coverage must be in (0, 1]")
-        if not self.gaussian_violation_weight:
+        violation = self.gaussian_violation_weight
+        if violation is None or not np.any(violation > 0.0):
             return np.array([], dtype=np.int64)
-        items = sorted(
-            self.gaussian_violation_weight.items(), key=lambda kv: -kv[1]
-        )
-        total = sum(weight for _, weight in items)
-        selected = []
-        accumulated = 0.0
-        for gid, weight in items:
-            selected.append(gid)
-            accumulated += weight
-            if accumulated >= coverage * total:
-                break
-        return np.array(sorted(selected), dtype=np.int64)
+        order = np.argsort(-violation, kind="stable")
+        order = order[violation[order] > 0.0]
+        cumulative = np.cumsum(violation[order])
+        count = int(np.searchsorted(cumulative, coverage * cumulative[-1])) + 1
+        return np.sort(order[:count]).astype(np.int64)
 
     @property
     def rendered_gaussian_count(self) -> int:
         """Number of distinct Gaussians that contributed to the frame."""
-        return len(self.gaussian_blend_weight)
+        if self.gaussian_blend_weight is None:
+            return 0
+        return int(np.count_nonzero(self.gaussian_blend_weight > 0.0))
 
     @property
     def error_gaussian_ratio(self) -> float:
@@ -171,7 +189,9 @@ class StreamingRenderer:
     model:
         The trained (and optionally boundary-fine-tuned) Gaussian model.
     config:
-        Streaming configuration; ``StreamingConfig()`` by default.
+        Streaming configuration; ``StreamingConfig()`` by default.  Selects
+        the blending kernel (``config.blend_kernel``) and the size of the
+        frame-preparation cache (``config.frame_cache_size``).
     quantizer:
         Optional pre-fitted :class:`VectorQuantizer`.  When ``config.use_vq``
         is True and no quantizer is given, one is fitted on ``model``.
@@ -201,6 +221,47 @@ class StreamingRenderer:
             sh_degree=self.config.sh_degree,
         )
         self.background = np.asarray(self.config.background, dtype=np.float64)
+        self.kernel = get_kernel(self.config.blend_kernel)
+        self.frame_cache = FrameCache(capacity=self.config.frame_cache_size)
+
+    # ------------------------------------------------------------------
+    def prepare_frame(self, camera: Camera) -> FramePreparation:
+        """View geometry of one camera pose, memoized in the frame cache.
+
+        Builds (or reuses) the per-voxel depth map, the per-tile voxel
+        ordering tables and the topologically sorted global voxel orders.
+        The preparation depends only on the voxel grid and the camera, never
+        on the Gaussian parameters, so it is safe to share across renders.
+        """
+        config = self.config
+        key = frame_key(
+            camera,
+            tile_size=config.tile_size,
+            ray_stride=config.ray_stride,
+            max_voxels_per_ray=config.max_voxels_per_ray,
+        )
+        cached = self.frame_cache.get(key)
+        if cached is not None:
+            return cached
+        tile_grid = TileGrid(camera.width, camera.height, config.tile_size)
+        depth_map = voxel_depth_map(self.grid, camera)
+        tile_bounds = {
+            tile_id: tile_grid.tile_pixel_bounds(tile_id)
+            for tile_id in range(tile_grid.num_tiles)
+        }
+        tables = ordering_tables_for_tiles(
+            self.grid,
+            camera,
+            tile_bounds,
+            ray_stride=config.ray_stride,
+            max_voxels_per_ray=config.max_voxels_per_ray,
+        )
+        orders = topological_orders_for_tables(tables, voxel_depths=depth_map)
+        preparation = FramePreparation(
+            depth_map=depth_map, tile_tables=tables, tile_orders=orders
+        )
+        self.frame_cache.put(key, preparation)
+        return preparation
 
     # ------------------------------------------------------------------
     def render(self, camera: Camera) -> StreamingRenderOutput:
@@ -210,11 +271,14 @@ class StreamingRenderer:
         image = np.zeros((camera.height, camera.width, 3), dtype=np.float64)
         alpha_img = np.zeros((camera.height, camera.width), dtype=np.float64)
         stats = StreamingStats(num_tiles=tile_grid.num_tiles)
-        depth_map = voxel_depth_map(self.grid, camera)
+        stats.ensure_weight_arrays(len(self.source_model))
+        preparation = self.prepare_frame(camera)
 
         for tile_id in range(tile_grid.num_tiles):
             bounds = tile_grid.tile_pixel_bounds(tile_id)
-            self._render_tile(camera, bounds, depth_map, image, alpha_img, stats)
+            self._render_tile(
+                camera, tile_id, bounds, preparation, image, alpha_img, stats
+            )
 
         # Final pixel writes are the only off-chip writes of the pipeline.
         stats.traffic = stats.traffic.merge(
@@ -228,29 +292,22 @@ class StreamingRenderer:
     def _render_tile(
         self,
         camera: Camera,
+        tile_id: int,
         bounds,
-        depth_map: Dict[int, float],
+        preparation: FramePreparation,
         image: np.ndarray,
         alpha_img: np.ndarray,
         stats: StreamingStats,
     ) -> None:
         """Render one pixel group, accumulating into the frame buffers."""
         x0, y0, x1, y1 = bounds
-        table = voxel_ordering_table(
-            self.grid,
-            camera,
-            bounds,
-            ray_stride=self.config.ray_stride,
-            max_voxels_per_ray=self.config.max_voxels_per_ray,
-        )
+        table = preparation.tile_tables[tile_id]
         stats.rays_sampled += table.rays_sampled
         stats.ordering_table_entries += table.total_entries
         stats.traffic = stats.traffic.merge(
             DataLayout.ordering_metadata_traffic(table.total_entries)
         )
-        order_result = topological_voxel_order(
-            table.per_ray_orders, voxel_depths=depth_map
-        )
+        order_result = preparation.tile_orders[tile_id]
         stats.dag_edges += order_result.num_edges
         stats.dag_nodes += order_result.num_nodes
         stats.cycles_broken += order_result.cycles_broken
@@ -262,6 +319,11 @@ class StreamingRenderer:
         xs = xs.reshape(-1)
         ys = ys.reshape(-1)
         state = BlendState.fresh(len(xs))
+        # Kernels accumulate per-Gaussian attribution (keyed by model id)
+        # directly into the frame-level statistics arrays.
+        state.bind_weight_arrays(
+            stats.gaussian_blend_weight, stats.gaussian_violation_weight
+        )
 
         for voxel_id in order_result.order:
             voxel_indices = self.grid.gaussians_in_voxel(voxel_id)
@@ -293,37 +355,17 @@ class StreamingRenderer:
             stats.rendered_gaussian_slots += len(order)
 
             fragments_before = state.blended_fragments
-            weights_before = dict(state.gaussian_weights)
-            violations_before = dict(state.gaussian_violation_weights)
-            state = blend_tile(
+            state = self.kernel(
                 xs,
                 ys,
                 result.projected,
                 order,
-                self.background,
-                state=state,
+                state,
+                model_indices=np.asarray(result.indices, dtype=np.int64),
                 track_depth_order=True,
             )
             stats.blended_fragments += state.blended_fragments - fragments_before
-            # Attribute the new per-Gaussian weights to model indices.
-            for local, model_index in enumerate(result.indices):
-                new_weight = state.gaussian_weights.get(local, 0.0) - weights_before.get(
-                    local, 0.0
-                )
-                if new_weight > 0.0:
-                    stats.gaussian_blend_weight[int(model_index)] = (
-                        stats.gaussian_blend_weight.get(int(model_index), 0.0)
-                        + new_weight
-                    )
-                new_violation = state.gaussian_violation_weights.get(
-                    local, 0.0
-                ) - violations_before.get(local, 0.0)
-                if new_violation > 0.0:
-                    stats.gaussian_violation_weight[int(model_index)] = (
-                        stats.gaussian_violation_weight.get(int(model_index), 0.0)
-                        + new_violation
-                    )
-            if not np.any(state.transmittance > 1e-4):
+            if not np.any(state.transmittance > TRANSMITTANCE_EPSILON):
                 break
 
         stats.depth_order_errors += state.depth_violations
@@ -339,15 +381,10 @@ def tile_centric_reference(
 ) -> RenderOutput:
     """Convenience wrapper: the tile-centric reference render of ``model``.
 
-    Uses the same tile size, SH degree and background as the streaming
-    configuration so streaming-vs-reference comparisons are apples to apples.
+    Uses the same tile size, SH degree, background and blending kernel as
+    the streaming configuration so streaming-vs-reference comparisons are
+    apples to apples.
     """
-    from repro.gaussians.rasterizer import TileRasterizer
+    from repro.engine.service import RenderService
 
-    config = config or StreamingConfig()
-    rasterizer = TileRasterizer(
-        tile_size=config.tile_size,
-        background=config.background,
-        sh_degree=config.sh_degree,
-    )
-    return rasterizer.render(model, camera)
+    return RenderService.tile_rasterizer(config).render(model, camera)

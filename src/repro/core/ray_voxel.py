@@ -172,3 +172,28 @@ def voxel_ordering_table(
     return VoxelOrderingTable(
         per_ray_orders=per_ray_orders, rays_sampled=len(origins)
     )
+
+
+def ordering_tables_for_tiles(
+    grid: VoxelGrid,
+    camera: Camera,
+    tile_bounds: Dict[int, Tuple[int, int, int, int]],
+    ray_stride: int = 4,
+    max_voxels_per_ray: int = 512,
+) -> Dict[int, VoxelOrderingTable]:
+    """Voxel ordering tables for many pixel groups of one camera pose.
+
+    The whole-frame preparation the engine's frame cache memoizes: the
+    tables depend only on the grid geometry, the camera pose and the
+    traversal parameters, so repeated renders of the same view reuse them.
+    """
+    return {
+        tile_id: voxel_ordering_table(
+            grid,
+            camera,
+            bounds,
+            ray_stride=ray_stride,
+            max_voxels_per_ray=max_voxels_per_ray,
+        )
+        for tile_id, bounds in tile_bounds.items()
+    }

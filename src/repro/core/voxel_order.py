@@ -146,12 +146,37 @@ def order_violation_count(
     return violations
 
 
+def topological_orders_for_tables(
+    tables: Dict[int, "object"],
+    voxel_depths: Optional[Dict[int, float]] = None,
+) -> Dict[int, VoxelOrderResult]:
+    """Global voxel orders for many tiles' ordering tables at once.
+
+    Part of the whole-frame preparation the engine's frame cache memoizes
+    alongside :func:`repro.core.ray_voxel.ordering_tables_for_tiles`.
+    """
+    return {
+        tile_id: topological_voxel_order(
+            table.per_ray_orders, voxel_depths=voxel_depths
+        )
+        for tile_id, table in tables.items()
+    }
+
+
 def voxel_depth_map(grid, camera) -> Dict[int, float]:
-    """Camera-space depth of every voxel centre (topological-sort tie-break)."""
+    """Camera-space depth of every voxel centre (topological-sort tie-break).
+
+    Computed in one vectorised batch over all renamed voxels.
+    """
     depths: Dict[int, float] = {}
-    centers = np.array([grid.voxel_center(v) for v in range(grid.num_voxels)])
-    if len(centers) == 0:
+    if grid.num_voxels == 0:
         return depths
+    raw = np.asarray(grid.renamed_to_raw, dtype=np.int64)
+    x = raw % grid.dims[0]
+    y = (raw // grid.dims[0]) % grid.dims[1]
+    z = raw // (grid.dims[0] * grid.dims[1])
+    coords = np.stack([x, y, z], axis=1)
+    centers = grid.origin + (coords + 0.5) * grid.voxel_size
     cam = camera.world_to_camera(centers)
     for voxel_id, depth in enumerate(cam[:, 2]):
         depths[voxel_id] = float(depth)

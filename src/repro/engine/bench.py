@@ -1,0 +1,137 @@
+"""Micro-benchmark of the blending kernels.
+
+Times the tile-centric render of a seeded synthetic scene under each
+registered blending kernel, verifies the outputs agree, and reports the
+speedup of the vectorized kernel over the reference loop.  The benchmark
+script ``benchmarks/bench_engine.py`` appends the result to the
+``BENCH_engine.json`` trajectory, and the analysis runner exposes it as the
+``engine`` experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.engine.kernels import DEFAULT_KERNEL, available_kernels
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.rasterizer import TileRasterizer
+from repro.gaussians.sh import rgb_to_sh_dc
+
+
+def benchmark_scene(
+    num_gaussians: int = 6000, extent: float = 4.0, seed: int = 7
+) -> GaussianModel:
+    """A seeded synthetic Gaussian cloud for kernel timing."""
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-extent / 2, extent / 2, size=(num_gaussians, 3))
+    scales = rng.lognormal(np.log(0.08), 0.3, size=(num_gaussians, 3))
+    rotations = rng.normal(size=(num_gaussians, 4))
+    opacities = np.clip(rng.normal(0.8, 0.1, size=num_gaussians), 0.05, 0.99)
+    colors = rng.uniform(0.1, 0.9, size=(num_gaussians, 3))
+    sh_rest = rng.normal(0.0, 0.02, size=(num_gaussians, 15, 3))
+    return GaussianModel(
+        positions=positions,
+        scales=scales,
+        rotations=rotations,
+        opacities=opacities,
+        sh_dc=rgb_to_sh_dc(colors),
+        sh_rest=sh_rest,
+    )
+
+
+def benchmark_camera(width: int = 160, height: int = 120) -> Camera:
+    """The evaluation view of the benchmark scene."""
+    return Camera.from_lookat(
+        eye=(6.0, 0.5, 1.0),
+        target=(0.0, 0.0, 0.0),
+        width=width,
+        height=height,
+        fov_deg=60.0,
+    )
+
+
+@dataclass
+class KernelBenchResult:
+    """Timings and equivalence check of one kernel-comparison run."""
+
+    num_gaussians: int
+    resolution: tuple
+    repeats: int
+    seconds: Dict[str, float] = field(default_factory=dict)
+    max_image_delta: float = 0.0
+    blended_fragments: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Reference-kernel time over vectorized-kernel time."""
+        reference = self.seconds.get("reference", 0.0)
+        vectorized = self.seconds.get("vectorized", 0.0)
+        return reference / vectorized if vectorized else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "num_gaussians": self.num_gaussians,
+            "resolution": list(self.resolution),
+            "repeats": self.repeats,
+            "seconds": dict(self.seconds),
+            "speedup": self.speedup,
+            "max_image_delta": self.max_image_delta,
+            "blended_fragments": dict(self.blended_fragments),
+            "default_kernel": DEFAULT_KERNEL,
+        }
+
+    def format(self) -> str:
+        lines = [
+            "engine kernel micro-benchmark "
+            f"({self.num_gaussians} Gaussians, {self.resolution[0]}x{self.resolution[1]}, "
+            f"{self.repeats} repeat(s))"
+        ]
+        for name in sorted(self.seconds):
+            lines.append(
+                f"  {name:<12} {self.seconds[name] * 1e3:9.1f} ms  "
+                f"fragments={self.blended_fragments[name]}"
+            )
+        lines.append(
+            f"  speedup (reference / vectorized): {self.speedup:.2f}x; "
+            f"max |image delta| = {self.max_image_delta:.3g}"
+        )
+        return "\n".join(lines)
+
+
+def run_kernel_benchmark(
+    num_gaussians: int = 6000,
+    width: int = 160,
+    height: int = 120,
+    repeats: int = 3,
+    seed: int = 7,
+) -> KernelBenchResult:
+    """Time every registered kernel on the tile-centric render of one scene."""
+    model = benchmark_scene(num_gaussians=num_gaussians, seed=seed)
+    camera = benchmark_camera(width=width, height=height)
+    result = KernelBenchResult(
+        num_gaussians=num_gaussians, resolution=(width, height), repeats=repeats
+    )
+    images: Dict[str, np.ndarray] = {}
+    rasterizers = {name: TileRasterizer(kernel=name) for name in available_kernels()}
+    best: Dict[str, float] = {name: float("inf") for name in rasterizers}
+    # Rounds are interleaved across kernels so machine-load drift during the
+    # benchmark biases neither side of the speedup ratio.
+    for _ in range(repeats):
+        for name, rasterizer in rasterizers.items():
+            start = time.perf_counter()
+            output = rasterizer.render(model, camera)
+            best[name] = min(best[name], time.perf_counter() - start)
+            result.blended_fragments[name] = output.stats.num_blended_fragments
+            images[name] = output.image
+    result.seconds = dict(best)
+    deltas: List[float] = [
+        float(np.max(np.abs(images[name] - images["reference"])))
+        for name in images
+    ]
+    result.max_image_delta = max(deltas)
+    return result

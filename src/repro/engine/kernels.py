@@ -1,0 +1,268 @@
+"""Interchangeable alpha-blending kernels.
+
+Both renderers funnel every pixel they produce through one of these kernels:
+
+* :func:`blend_reference` — the per-Gaussian reference loop (vectorised over
+  the pixels of a tile, sequential over the depth-sorted Gaussian list), a
+  direct transcription of the reference 3DGS blending recurrence;
+* :func:`blend_vectorized` — a fully batched kernel that evaluates all
+  (gaussian, pixel) powers in one broadcast and derives per-step
+  transmittance with an exclusive cumulative product, reproducing the
+  reference recurrence (including the early-termination gate) exactly.
+
+Kernels share one signature::
+
+    kernel(pixel_x, pixel_y, projected, sorted_indices, state,
+           model_indices=None, track_depth_order=False) -> BlendState
+
+``model_indices`` maps rows of ``projected`` to model Gaussian ids; the
+streaming pipeline passes the surviving-voxel indices so per-Gaussian weight
+attribution lands directly in the frame-level arrays bound into ``state``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine.state import BlendState
+from repro.gaussians.projection import ProjectedGaussians
+
+#: Alpha-blending terminates a pixel once its transmittance drops below this.
+TRANSMITTANCE_EPSILON = 1e-4
+
+#: Contributions with alpha below this are skipped (matches reference impl).
+ALPHA_EPSILON = 1.0 / 255.0
+
+#: Alpha is clamped to this maximum to keep blending stable.
+ALPHA_MAX = 0.99
+
+#: Depth slack below which an out-of-order contribution is not counted.
+DEPTH_VIOLATION_EPSILON = 1e-9
+
+#: Gaussians per broadcast batch of the vectorized kernel.  Bounds the
+#: (gaussians x pixels) working set to a cache-resident block and sets the
+#: granularity of the active-pixel compaction and early-termination checks.
+VECTORIZED_CHUNK = 64
+
+BlendKernel = Callable[..., BlendState]
+
+
+def _tracking_size(
+    projected: ProjectedGaussians, model_indices: Optional[np.ndarray]
+) -> int:
+    if model_indices is None:
+        return len(projected)
+    return int(np.max(model_indices)) + 1 if len(model_indices) else 0
+
+
+def blend_reference(
+    pixel_x: np.ndarray,
+    pixel_y: np.ndarray,
+    projected: ProjectedGaussians,
+    sorted_indices: np.ndarray,
+    state: BlendState,
+    model_indices: Optional[np.ndarray] = None,
+    track_depth_order: bool = False,
+) -> BlendState:
+    """Per-Gaussian reference blending loop (front to back)."""
+    if track_depth_order:
+        state.ensure_weight_arrays(_tracking_size(projected, model_indices))
+    px = pixel_x.astype(np.float64) + 0.5
+    py = pixel_y.astype(np.float64) + 0.5
+    for gid in sorted_indices:
+        if not projected.valid[gid]:
+            continue
+        active = state.transmittance > TRANSMITTANCE_EPSILON
+        if not np.any(active):
+            break
+        dx = px - projected.means2d[gid, 0]
+        dy = py - projected.means2d[gid, 1]
+        a, b, c = projected.conics[gid]
+        power = -0.5 * (a * dx * dx + c * dy * dy) - b * dx * dy
+        alpha = projected.opacities[gid] * np.exp(np.minimum(power, 0.0))
+        alpha = np.minimum(alpha, ALPHA_MAX)
+        contributes = active & (alpha > ALPHA_EPSILON) & (power <= 0.0)
+        if not np.any(contributes):
+            continue
+        weight = np.where(contributes, alpha * state.transmittance, 0.0)
+        state.color += weight[:, None] * projected.colors[gid][None, :]
+        state.transmittance = np.where(
+            contributes, state.transmittance * (1.0 - alpha), state.transmittance
+        )
+        state.blended_fragments += int(np.count_nonzero(contributes))
+        if track_depth_order:
+            depth = float(projected.depths[gid])
+            violated = contributes & (
+                state.max_depth > depth + DEPTH_VIOLATION_EPSILON
+            )
+            state.depth_violations += int(np.count_nonzero(violated))
+            key = int(gid) if model_indices is None else int(model_indices[gid])
+            state.gaussian_weights[key] += float(weight.sum())
+            if np.any(violated):
+                state.gaussian_violation_weights[key] += float(weight[violated].sum())
+            state.max_depth = np.where(
+                contributes, np.maximum(state.max_depth, depth), state.max_depth
+            )
+    return state
+
+
+def blend_vectorized(
+    pixel_x: np.ndarray,
+    pixel_y: np.ndarray,
+    projected: ProjectedGaussians,
+    sorted_indices: np.ndarray,
+    state: BlendState,
+    model_indices: Optional[np.ndarray] = None,
+    track_depth_order: bool = False,
+) -> BlendState:
+    """Broadcast-batched blending kernel.
+
+    For a batch of Gaussians the kernel evaluates the full (gaussian, pixel)
+    power matrix at once and recovers the sequential transmittance
+    recurrence through one exclusive cumulative product along the Gaussian
+    axis, seeded with the incoming per-pixel transmittance.  The recurrence
+    is reproduced *bit for bit*:
+
+    * non-contributing Gaussians (tiny alpha, positive power) have their
+      blending factor replaced by exactly 1.0, so the sequential product is
+      unchanged by them;
+    * the early-termination gate (``T > epsilon``) evaluates identically on
+      the ungated product because transmittance is non-increasing: past the
+      first saturation crossing both the gated and ungated products sit at
+      or below the threshold;
+    * the post-batch transmittance is the running product just after the
+      last contributing Gaussian (recovered as a masked minimum, since the
+      product is non-increasing), where gated and ungated products agree.
+
+    Depth-order tracking uses an exclusive running maximum of contributing
+    depths along the same axis.
+    """
+    if track_depth_order:
+        state.ensure_weight_arrays(_tracking_size(projected, model_indices))
+    sorted_indices = np.asarray(sorted_indices, dtype=np.int64)
+    sel = sorted_indices[projected.valid[sorted_indices]]
+    if len(sel) == 0:
+        return state
+    px = pixel_x.astype(np.float64) + 0.5
+    py = pixel_y.astype(np.float64) + 0.5
+    num_pixels = len(px)
+
+    for start in range(0, len(sel), VECTORIZED_CHUNK):
+        # Active-pixel compaction: transmittance is non-increasing, so
+        # saturated pixels can never contribute again and their columns are
+        # dropped from the broadcast batch entirely (the reference loop can
+        # only mask them, not skip their arithmetic).
+        active = np.flatnonzero(state.transmittance > TRANSMITTANCE_EPSILON)
+        if len(active) == 0:
+            break
+        compact = len(active) < num_pixels
+        if compact:
+            apx, apy = px[active], py[active]
+            transmittance_in = state.transmittance[active]
+        else:
+            apx, apy = px, py
+            transmittance_in = state.transmittance
+        chunk = sel[start : start + VECTORIZED_CHUNK]
+
+        dx = apx[None, :] - projected.means2d[chunk, 0][:, None]      # (G, A)
+        dy = apy[None, :] - projected.means2d[chunk, 1][:, None]
+        conics = projected.conics[chunk]
+        power = conics[:, 0][:, None] * (dx * dx)
+        power += conics[:, 2][:, None] * (dy * dy)
+        power *= -0.5
+        dx *= dy
+        dx *= conics[:, 1][:, None]
+        power -= dx
+
+        opacities = projected.opacities[chunk][:, None]
+        positive = power > 0.0
+        np.minimum(power, 0.0, out=power)
+        a = np.exp(power, out=power)                                  # reuse buffer
+        a *= opacities
+        np.minimum(a, ALPHA_MAX, out=a)
+        a[positive] = 0.0
+        a[a <= ALPHA_EPSILON] = 0.0
+
+        # Sequential transmittance: running[k] is the transmittance Gaussian
+        # k observes; scaling the first factor by the incoming state keeps
+        # the multiplication order of the reference loop.
+        factors = 1.0 - a
+        factors[0] *= transmittance_in
+        running = np.empty((len(chunk) + 1, len(transmittance_in)), dtype=np.float64)
+        running[0] = transmittance_in
+        np.cumprod(factors, axis=0, out=running[1:])
+        contributes = (a > 0.0) & (running[:-1] > TRANSMITTANCE_EPSILON)
+
+        weight = np.where(contributes, a * running[:-1], 0.0)         # (G, A)
+
+        color_delta = np.einsum("gp,gc->pc", weight, projected.colors[chunk])
+        if compact:
+            state.color[active] += color_delta
+        else:
+            state.color += color_delta
+        state.blended_fragments += int(np.count_nonzero(contributes))
+
+        if track_depth_order:
+            depths = projected.depths[chunk].astype(np.float64)
+            max_depth_in = state.max_depth[active] if compact else state.max_depth
+            contributed_depth = np.where(contributes, depths[:, None], -np.inf)
+            # Exclusive running max of contributing depths, seeded by state.
+            prior_max = np.maximum.accumulate(
+                np.vstack([max_depth_in[None, :], contributed_depth]), axis=0
+            )
+            violated = contributes & (
+                prior_max[:-1] > depths[:, None] + DEPTH_VIOLATION_EPSILON
+            )
+            state.depth_violations += int(np.count_nonzero(violated))
+            keys = chunk if model_indices is None else model_indices[chunk]
+            np.add.at(state.gaussian_weights, keys, weight.sum(axis=1))
+            np.add.at(
+                state.gaussian_violation_weights,
+                keys,
+                np.where(violated, weight, 0.0).sum(axis=1),
+            )
+            if compact:
+                state.max_depth[active] = prior_max[-1]
+            else:
+                state.max_depth = prior_max[-1]
+
+        # Transmittance after the last contributing Gaussian: the running
+        # product only decreases on contributing steps, so the masked
+        # minimum recovers it; pixels without contributions keep their
+        # incoming value.
+        after = np.min(
+            np.where(contributes, running[1:], np.inf), axis=0, initial=np.inf
+        )
+        transmittance_out = np.where(np.isfinite(after), after, transmittance_in)
+        if compact:
+            state.transmittance[active] = transmittance_out
+        else:
+            state.transmittance = transmittance_out
+    return state
+
+
+#: Registry of the interchangeable blending kernels.
+KERNELS = {
+    "reference": blend_reference,
+    "vectorized": blend_vectorized,
+}
+
+#: Kernel used when no explicit selection is made.
+DEFAULT_KERNEL = "vectorized"
+
+
+def available_kernels() -> tuple:
+    """Names of the registered blending kernels."""
+    return tuple(KERNELS)
+
+
+def get_kernel(name: Optional[str] = None) -> BlendKernel:
+    """Resolve a kernel name (``None`` means the default) to its callable."""
+    key = name or DEFAULT_KERNEL
+    if key not in KERNELS:
+        raise KeyError(
+            f"unknown blending kernel {key!r}; available: {sorted(KERNELS)}"
+        )
+    return KERNELS[key]

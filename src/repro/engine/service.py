@@ -1,0 +1,211 @@
+"""Batched render front-end shared by the analysis harness and benchmarks.
+
+:class:`RenderService` accepts many (model, camera, config) requests,
+shares prepared state across them — streaming renderers (voxel grid, DRAM
+layout, quantizer) are memoised per (model, config) and each renderer's
+frame-preparation cache is reused across requests for the same view — and
+returns images plus the workload statistics the architecture models consume.
+
+The service is the single entry point the experiment harness renders
+through; a process-wide default instance is available via
+:func:`get_default_service` so independent experiments share renderers
+within one run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import StreamingConfig
+from repro.core.pipeline import StreamingRenderer, StreamingRenderOutput
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.rasterizer import RenderOutput, TileRasterizer
+
+#: Renderers kept alive by the service (each owns a voxel grid + layout).
+DEFAULT_RENDERER_CACHE_SIZE = 8
+
+
+@dataclass
+class RenderRequest:
+    """One render to perform.
+
+    ``mode`` selects the pipeline: ``"streaming"`` (memory-centric,
+    Fig. 1b) or ``"tile"`` (tile-centric reference, Fig. 1a).
+    """
+
+    model: GaussianModel
+    camera: Camera
+    config: Optional[StreamingConfig] = None
+    mode: str = "streaming"
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("streaming", "tile"):
+            raise ValueError(f"unknown render mode {self.mode!r}")
+
+
+@dataclass
+class RenderResponse:
+    """Image, alpha and workload statistics of one completed request."""
+
+    request: RenderRequest
+    output: Union[RenderOutput, StreamingRenderOutput]
+
+    @property
+    def image(self) -> np.ndarray:
+        return self.output.image
+
+    @property
+    def alpha(self) -> np.ndarray:
+        return self.output.alpha
+
+    @property
+    def stats(self):
+        return self.output.stats
+
+    @property
+    def tag(self) -> str:
+        return self.request.tag
+
+
+class RenderService:
+    """Shared-state batched renderer front-end.
+
+    Parameters
+    ----------
+    max_renderers:
+        Number of streaming renderers kept alive; building one is the
+        expensive part (voxel grid, layout, optional VQ fit), so requests
+        that revisit a (model, config) pair reuse it.
+    """
+
+    def __init__(self, max_renderers: int = DEFAULT_RENDERER_CACHE_SIZE) -> None:
+        if max_renderers <= 0:
+            raise ValueError("max_renderers must be positive")
+        self.max_renderers = max_renderers
+        self._renderers: "OrderedDict[Tuple[str, StreamingConfig], StreamingRenderer]" = (
+            OrderedDict()
+        )
+        self.requests_served = 0
+        self.renderer_hits = 0
+        self.renderer_misses = 0
+
+    # ------------------------------------------------------------------
+    def streaming_renderer(
+        self, model: GaussianModel, config: Optional[StreamingConfig] = None
+    ) -> StreamingRenderer:
+        """The shared streaming renderer of a (model, config) pair.
+
+        Keyed by the model's :meth:`~repro.gaussians.model.GaussianModel.content_fingerprint`,
+        so models with equal parameters share one renderer while in-place
+        parameter edits (e.g. a fine-tuning loop mutating the same object)
+        miss the cache and get a renderer built from the current values.
+        """
+        config = config or StreamingConfig()
+        key = (model.content_fingerprint(), config)
+        renderer = self._renderers.get(key)
+        if renderer is not None:
+            self._renderers.move_to_end(key)
+            self.renderer_hits += 1
+            return renderer
+        self.renderer_misses += 1
+        renderer = StreamingRenderer(model, config)
+        self._renderers[key] = renderer
+        while len(self._renderers) > self.max_renderers:
+            self._renderers.popitem(last=False)
+        return renderer
+
+    @staticmethod
+    def tile_rasterizer(config: Optional[StreamingConfig] = None) -> TileRasterizer:
+        """A tile-centric rasterizer matching the streaming configuration."""
+        config = config or StreamingConfig()
+        return TileRasterizer(
+            tile_size=config.tile_size,
+            background=config.background,
+            sh_degree=config.sh_degree,
+            kernel=config.blend_kernel,
+        )
+
+    # ------------------------------------------------------------------
+    def render(self, request: RenderRequest) -> RenderResponse:
+        """Serve one request."""
+        config = request.config or StreamingConfig()
+        if request.mode == "tile":
+            output: Union[RenderOutput, StreamingRenderOutput] = self.tile_rasterizer(
+                config
+            ).render(request.model, request.camera)
+        else:
+            output = self.streaming_renderer(request.model, config).render(
+                request.camera
+            )
+        self.requests_served += 1
+        return RenderResponse(request=request, output=output)
+
+    def render_batch(self, requests: Iterable[RenderRequest]) -> List[RenderResponse]:
+        """Serve many requests, sharing renderers and prepared frames.
+
+        Requests are grouped by (model, config) so each streaming renderer
+        is built once and its frame-preparation cache sees every camera of
+        the group back to back.
+        """
+        indexed = list(enumerate(requests))
+        responses: List[Optional[RenderResponse]] = [None] * len(indexed)
+        streaming = [(i, r) for i, r in indexed if r.mode == "streaming"]
+        # Group streaming requests by shared renderer state.
+        groups: "OrderedDict[Tuple[int, StreamingConfig], List[Tuple[int, RenderRequest]]]" = (
+            OrderedDict()
+        )
+        for i, request in streaming:
+            key = (id(request.model), request.config or StreamingConfig())
+            groups.setdefault(key, []).append((i, request))
+        for group in groups.values():
+            for i, request in group:
+                responses[i] = self.render(request)
+        for i, request in indexed:
+            if request.mode != "streaming":
+                responses[i] = self.render(request)
+        return list(responses)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def render_pair(
+        self,
+        model: GaussianModel,
+        camera: Camera,
+        config: Optional[StreamingConfig] = None,
+    ) -> Tuple[RenderOutput, StreamingRenderOutput]:
+        """Tile-centric reference and streaming render of the same scene."""
+        tile, streaming = self.render_batch(
+            [
+                RenderRequest(model=model, camera=camera, config=config, mode="tile"),
+                RenderRequest(
+                    model=model, camera=camera, config=config, mode="streaming"
+                ),
+            ]
+        )
+        return tile.output, streaming.output  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        """Drop every cached renderer (counters are kept)."""
+        self._renderers.clear()
+
+
+_DEFAULT_SERVICE: Optional[RenderService] = None
+
+
+def get_default_service() -> RenderService:
+    """The process-wide shared :class:`RenderService`."""
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = RenderService()
+    return _DEFAULT_SERVICE
+
+
+def reset_default_service() -> None:
+    """Replace the process-wide service (used by tests)."""
+    global _DEFAULT_SERVICE
+    _DEFAULT_SERVICE = None

@@ -112,6 +112,24 @@ class Camera:
         )
 
     # ------------------------------------------------------------------
+    def pose_key(self) -> tuple:
+        """Hashable fingerprint of the camera's pose and intrinsics.
+
+        Two cameras with equal pose keys render identical view geometry;
+        the engine's frame-preparation cache is keyed by it.
+        """
+        return (
+            self.rotation.tobytes(),
+            self.translation.tobytes(),
+            self.width,
+            self.height,
+            float(self.fx),
+            float(self.fy),
+            float(self.near),
+            float(self.far),
+        )
+
+    # ------------------------------------------------------------------
     @property
     def cx(self) -> float:
         """Principal point x (image centre)."""

@@ -153,6 +153,29 @@ class GaussianModel:
             sh_rest=self.sh_rest.copy(),
         )
 
+    def content_fingerprint(self) -> str:
+        """Digest of all parameter arrays.
+
+        Two models with equal fingerprints render identically; in-place
+        parameter edits change the fingerprint.  The engine's
+        :class:`~repro.engine.service.RenderService` keys its shared
+        renderers by it, so mutate-then-rerender callers always get a
+        renderer built from the current parameters.
+        """
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        for array in (
+            self.positions,
+            self.scales,
+            self.rotations,
+            self.opacities,
+            self.sh_dc,
+            self.sh_rest,
+        ):
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()
+
     def subset(self, indices: np.ndarray) -> "GaussianModel":
         """A new model containing only the Gaussians at ``indices``."""
         indices = np.asarray(indices)

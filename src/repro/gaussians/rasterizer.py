@@ -3,33 +3,43 @@
 This is the rendering paradigm of Fig. 1a: project every Gaussian, duplicate
 it into the tiles it overlaps, sort each tile's list by depth, then
 alpha-blend every pixel of each tile front-to-back over the full sorted
-list.  The implementation is vectorised per tile so it stays tractable in
-NumPy, and it also records the workload statistics (Gaussian loads, blended
-fragments, duplicated pairs) that drive the GPU / GSCore architecture
-models.
+list.  The alpha blending itself lives in the shared render-engine layer
+(:mod:`repro.engine.kernels`) and is selectable between the per-Gaussian
+reference loop and the vectorized broadcast kernel; the rasterizer also
+records the workload statistics (Gaussian loads, blended fragments,
+duplicated pairs) that drive the GPU / GSCore architecture models.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
+from repro.engine.kernels import (
+    ALPHA_EPSILON,
+    ALPHA_MAX,
+    TRANSMITTANCE_EPSILON,
+    get_kernel,
+)
+from repro.engine.state import BlendState
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
 from repro.gaussians.projection import ProjectedGaussians, project_gaussians
 from repro.gaussians.sorting import global_sort_statistics, sort_tile_gaussians
 from repro.gaussians.tiles import DEFAULT_TILE_SIZE, TileGrid, bin_gaussians_to_tiles
 
-#: Alpha-blending terminates a pixel once its transmittance drops below this.
-TRANSMITTANCE_EPSILON = 1e-4
-
-#: Contributions with alpha below this are skipped (matches reference impl).
-ALPHA_EPSILON = 1.0 / 255.0
-
-#: Alpha is clamped to this maximum to keep blending stable.
-ALPHA_MAX = 0.99
+__all__ = [
+    "ALPHA_EPSILON",
+    "ALPHA_MAX",
+    "TRANSMITTANCE_EPSILON",
+    "BlendState",
+    "RenderStats",
+    "RenderOutput",
+    "blend_tile",
+    "TileRasterizer",
+]
 
 
 @dataclass
@@ -77,54 +87,23 @@ class RenderOutput:
         return int(self.image.shape[1])
 
 
-@dataclass
-class BlendState:
-    """Per-pixel accumulators of (partial) alpha blending.
-
-    ``max_depth`` tracks, per pixel, the largest camera-space depth among
-    the Gaussians that have already contributed to that pixel.  The
-    streaming pipeline uses it to count depth-order violations (the ``T_i``
-    indicator of the cross-boundary penalty, Eq. 2) at per-pixel
-    granularity, and ``gaussian_weights`` / ``gaussian_violation_weights``
-    attribute the blended weight (and the out-of-order part of it) to the
-    individual Gaussians so the boundary-aware fine-tuning can target the
-    actual offenders.
-    """
-
-    color: np.ndarray          # (P, 3) accumulated premultiplied colour
-    transmittance: np.ndarray  # (P,) remaining transmittance
-    max_depth: np.ndarray      # (P,) largest depth blended so far
-    blended_fragments: int = 0
-    depth_violations: int = 0
-    gaussian_weights: Dict[int, float] = field(default_factory=dict)
-    gaussian_violation_weights: Dict[int, float] = field(default_factory=dict)
-
-    @classmethod
-    def fresh(cls, num_pixels: int) -> "BlendState":
-        return cls(
-            color=np.zeros((num_pixels, 3), dtype=np.float64),
-            transmittance=np.ones(num_pixels, dtype=np.float64),
-            max_depth=np.full(num_pixels, -np.inf, dtype=np.float64),
-        )
-
-
 def blend_tile(
     pixel_x: np.ndarray,
     pixel_y: np.ndarray,
     projected: ProjectedGaussians,
     sorted_indices: np.ndarray,
-    background: np.ndarray,
-    transmittance: Optional[np.ndarray] = None,
-    color_accum: Optional[np.ndarray] = None,
     state: Optional[BlendState] = None,
+    *,
+    model_indices: Optional[np.ndarray] = None,
     track_depth_order: bool = False,
-) -> "BlendState":
+    kernel: Optional[str] = None,
+) -> BlendState:
     """Alpha-blend a depth-sorted Gaussian list over a block of pixels.
 
-    The loop runs over Gaussians (front to back) and is vectorised over the
-    pixels of the tile.  It supports *resuming* from a previous partial
-    state, which is exactly the partial pixel-value accumulation the
-    memory-centric pipeline performs voxel-by-voxel (Fig. 1b).
+    Thin front-end over the engine's blending kernels.  It supports
+    *resuming* from a previous partial state, which is exactly the partial
+    pixel-value accumulation the memory-centric pipeline performs
+    voxel-by-voxel (Fig. 1b).
 
     Parameters
     ----------
@@ -134,65 +113,32 @@ def blend_tile(
         Projection results the ``sorted_indices`` point into.
     sorted_indices:
         Depth-sorted Gaussian indices (front to back).
-    background:
-        Unused here (composited by the caller); kept for signature clarity.
-    transmittance, color_accum:
-        Legacy resumable accumulators; superseded by ``state``.
     state:
         A :class:`BlendState` to resume from (created fresh otherwise).
+    model_indices:
+        Optional mapping from rows of ``projected`` to model Gaussian ids;
+        per-Gaussian weight attribution is keyed by it when given.
     track_depth_order:
         When True, count per-pixel fragments blended out of depth order.
+    kernel:
+        Blending-kernel name (:data:`repro.engine.kernels.DEFAULT_KERNEL`
+        when omitted).
 
     Returns
     -------
     The updated :class:`BlendState`.
     """
-    num_pixels = len(pixel_x)
     if state is None:
-        state = BlendState.fresh(num_pixels)
-        if transmittance is not None:
-            state.transmittance = transmittance
-        if color_accum is not None:
-            state.color = color_accum
-    px = pixel_x.astype(np.float64) + 0.5
-    py = pixel_y.astype(np.float64) + 0.5
-    for gid in sorted_indices:
-        if not projected.valid[gid]:
-            continue
-        active = state.transmittance > TRANSMITTANCE_EPSILON
-        if not np.any(active):
-            break
-        dx = px - projected.means2d[gid, 0]
-        dy = py - projected.means2d[gid, 1]
-        a, b, c = projected.conics[gid]
-        power = -0.5 * (a * dx * dx + c * dy * dy) - b * dx * dy
-        alpha = projected.opacities[gid] * np.exp(np.minimum(power, 0.0))
-        alpha = np.minimum(alpha, ALPHA_MAX)
-        contributes = active & (alpha > ALPHA_EPSILON) & (power <= 0.0)
-        if not np.any(contributes):
-            continue
-        weight = np.where(contributes, alpha * state.transmittance, 0.0)
-        state.color += weight[:, None] * projected.colors[gid][None, :]
-        state.transmittance = np.where(
-            contributes, state.transmittance * (1.0 - alpha), state.transmittance
-        )
-        state.blended_fragments += int(np.count_nonzero(contributes))
-        if track_depth_order:
-            depth = float(projected.depths[gid])
-            violated = contributes & (state.max_depth > depth + 1e-9)
-            state.depth_violations += int(np.count_nonzero(violated))
-            key = int(gid)
-            state.gaussian_weights[key] = state.gaussian_weights.get(key, 0.0) + float(
-                weight.sum()
-            )
-            if np.any(violated):
-                state.gaussian_violation_weights[key] = state.gaussian_violation_weights.get(
-                    key, 0.0
-                ) + float(weight[violated].sum())
-            state.max_depth = np.where(
-                contributes, np.maximum(state.max_depth, depth), state.max_depth
-            )
-    return state
+        state = BlendState.fresh(len(pixel_x))
+    return get_kernel(kernel)(
+        pixel_x,
+        pixel_y,
+        projected,
+        sorted_indices,
+        state,
+        model_indices=model_indices,
+        track_depth_order=track_depth_order,
+    )
 
 
 class TileRasterizer:
@@ -206,6 +152,9 @@ class TileRasterizer:
         Background RGB colour composited where transmittance remains.
     sh_degree:
         SH degree used for view-dependent colour.
+    kernel:
+        Name of the blending kernel (``None`` selects the engine default,
+        the vectorized kernel).
     """
 
     def __init__(
@@ -213,12 +162,15 @@ class TileRasterizer:
         tile_size: int = DEFAULT_TILE_SIZE,
         background=(0.0, 0.0, 0.0),
         sh_degree: int = 3,
+        kernel: Optional[str] = None,
     ) -> None:
         if tile_size <= 0:
             raise ValueError("tile_size must be positive")
         self.tile_size = tile_size
         self.background = np.asarray(background, dtype=np.float64).reshape(3)
         self.sh_degree = sh_degree
+        self.kernel_name = kernel
+        self._kernel = get_kernel(kernel)
 
     # ------------------------------------------------------------------
     def render(self, model: GaussianModel, camera: Camera) -> RenderOutput:
@@ -241,11 +193,14 @@ class TileRasterizer:
             sort_bytes=sort_stats.total_bytes,
         )
 
+        covered = set()
         for tile_id, indices in sorted_lists.items():
             if len(indices) == 0:
                 continue
+            covered.add(tile_id)
             xs, ys = grid.tile_pixel_centers(tile_id)
-            state = blend_tile(xs, ys, projected, indices, self.background)
+            state = BlendState.fresh(len(xs))
+            state = self._kernel(xs, ys, projected, indices, state)
             stats.num_blended_fragments += state.blended_fragments
             final = state.color + state.transmittance[:, None] * self.background[None, :]
             x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
@@ -253,9 +208,14 @@ class TileRasterizer:
             image[y0:y1, x0:x1] = final.reshape(h, w, 3)
             alpha_img[y0:y1, x0:x1] = (1.0 - state.transmittance).reshape(h, w)
 
-        # Tiles with no candidate Gaussians keep the background colour.
-        empty_mask = alpha_img == 0.0
-        image[empty_mask & (image.sum(axis=2) == 0.0)] = self.background
+        # Tiles the binning produced no candidate Gaussians for are painted
+        # with the background explicitly (inferring them from pixel sums
+        # misfires for black backgrounds or blended pixels summing to zero).
+        for tile_id in range(grid.num_tiles):
+            if tile_id in covered:
+                continue
+            x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
+            image[y0:y1, x0:x1] = self.background
 
         return RenderOutput(
             image=np.clip(image, 0.0, 1.0),

@@ -17,6 +17,7 @@ def test_registry_covers_every_paper_artifact():
         "fig12",
         "fig13",
         "claims",
+        "engine",
     }
     for experiment in EXPERIMENTS.values():
         assert experiment.description
