@@ -5,7 +5,7 @@ Run with::
     python examples/compression_and_finetuning.py
 
 Demonstrates the memory-optimisation half of the paper on the 'train'
-scene:
+scene, with all rendering going through a shared :class:`repro.api.Session`:
 
 1. train per-feature-group codebooks and quantify the second-half traffic
    reduction (Sec. III-C, paper: 92.3 %);
@@ -16,32 +16,22 @@ scene:
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.api import Session
 from repro.compression.quantization_aware import quantization_aware_finetune
 from repro.compression.vq import VectorQuantizer
-from repro.core.config import StreamingConfig
-from repro.core.pipeline import StreamingRenderer
 from repro.gaussians.metrics import psnr
-from repro.gaussians.rasterizer import TileRasterizer
-from repro.scenes.fitting import fit_trained_model
-from repro.scenes.registry import SCENE_REGISTRY, build_scene, default_eval_camera
 from repro.training.boundary_finetune import boundary_aware_finetune
 from repro.training.color_refinement import dc_color_refinement_step
 
 
-def main() -> None:
+def main() -> int:
     scene = "train"
-    descriptor = SCENE_REGISTRY[scene]
-    reference = build_scene(scene)
-    camera = default_eval_camera(scene)
-    rasterizer = TileRasterizer()
-
-    fitted = fit_trained_model(
-        reference, camera, target_psnr=descriptor.target_psnr["3dgs"]
-    )
-    trained, ground_truth = fitted.trained, fitted.ground_truth
-    print(f"Calibrated trained model: {fitted.achieved_psnr:.2f} dB "
+    session = Session()
+    context = session.context(scene)
+    descriptor = context.descriptor
+    trained, ground_truth = context.trained, context.ground_truth
+    camera = context.camera
+    print(f"Calibrated trained model: {context.baseline_psnr:.2f} dB "
           f"(target {descriptor.target_psnr['3dgs']:.2f} dB)")
 
     # ------------------------------------------------------------------
@@ -56,7 +46,9 @@ def main() -> None:
     print(f"  codebook SRAM        : {quantizer.codebook_storage_bytes() / 1024:.0f} KB "
           "(paper codebook buffer: 250 KB)")
 
-    quantized_image = rasterizer.render(quantizer.roundtrip(trained), camera).image
+    quantized_image = session.render(
+        quantizer.roundtrip(trained), camera, mode="tile"
+    ).image
     print(f"  post-quantization PSNR: {psnr(ground_truth, quantized_image):.2f} dB")
 
     # ------------------------------------------------------------------
@@ -68,7 +60,7 @@ def main() -> None:
         iterations=4,
         camera=camera,
         ground_truth=ground_truth,
-        rasterizer=rasterizer,
+        rasterizer=session.tile_rasterizer(),
     )
     print("\nQuantization-aware fine-tuning")
     print(f"  PSNR before: {qat.psnr_before:.2f} dB   after: {qat.psnr_after:.2f} dB")
@@ -78,11 +70,14 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 3. Boundary-aware fine-tuning (Sec. III-B / Fig. 7)
     # ------------------------------------------------------------------
-    config = StreamingConfig.for_scene_category(descriptor.category)
-    photometric_target = rasterizer.render(trained, camera).image
+    config = context.streaming_config
+    photometric_target = session.render(trained, camera, config=config, mode="tile").image
+    # Probes render throwaway parameter snapshots; an isolated single-slot
+    # session keeps them from evicting the shared scene-context renderers.
+    probe_session = session.isolated(max_renderers=1)
 
     def probe(model):
-        output = StreamingRenderer(model, config).render(camera)
+        output = probe_session.render(model, camera, config=config).output
         stats = output.stats
         return (
             stats.error_gaussian_indices(),
@@ -110,7 +105,8 @@ def main() -> None:
     print(f"  error-Gaussian ratio: {100 * result.initial_error_ratio:.1f}% -> "
           f"{100 * result.final_error_ratio:.1f}% "
           "(paper: 2.3% -> 0.4%)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -6,80 +6,42 @@ Run with::
 
 Sweeps the two design knobs the paper studies in its sensitivity section —
 the number of coarse/fine filter units per HFU (Fig. 13) and the voxel size
-(Fig. 12) — and reports speedup, energy savings and silicon area for each
-point, using the 'train' scene workload.
+(Fig. 12) — as declarative ``session.sweep`` grids on the 'train' scene.
+Grid keys are routed automatically: ``cfus_per_hfu``/``ffus_per_hfu`` go to
+the accelerator configuration, ``voxel_size`` to the streaming
+configuration.
 """
 
 from __future__ import annotations
 
-from repro.analysis.context import get_scene_context
-from repro.analysis.report import format_table
-from repro.arch.accelerator import AcceleratorConfig, StreamingGSAccelerator
-from repro.arch.area import AreaModel
-from repro.arch.gpu import OrinNXModel
+from repro.api import ExperimentSpec, Session
 
 
-def sweep_filter_units(workload, gpu_report) -> str:
-    """Fig. 13-style sweep: CFU / FFU counts per HFU."""
-    area_model = AreaModel()
-    rows = []
-    for num_cfu in (1, 2, 3, 4):
-        for num_ffu in (1, 2, 4):
-            config = AcceleratorConfig(cfus_per_hfu=num_cfu, ffus_per_hfu=num_ffu)
-            report = StreamingGSAccelerator(config).evaluate(workload)
-            area = area_model.breakdown(
-                cfus_per_hfu=num_cfu, ffus_per_hfu=num_ffu
-            ).total_mm2
-            rows.append(
-                [
-                    f"{num_cfu} CFU / {num_ffu} FFU",
-                    round(report.speedup_over(gpu_report), 1),
-                    round(report.energy_saving_over(gpu_report), 1),
-                    round(area, 2),
-                ]
-            )
-    return format_table(
-        ["HFU configuration", "speedup (x)", "energy savings (x)", "area (mm^2)"],
-        rows,
+def main() -> int:
+    session = Session()
+    base = ExperimentSpec(scene="train")
+
+    # Fig. 13-style sweep: CFU / FFU counts per HFU.
+    filter_units = session.sweep(base, cfus_per_hfu=(1, 2, 3, 4), ffus_per_hfu=(1, 2, 4))
+    print(filter_units.table(
+        ["speedup", "energy_savings", "area_mm2"],
         title="Filter-unit design space (train scene)",
-    )
+    ))
+    print()
 
-
-def sweep_voxel_size(gpu_model) -> str:
-    """Fig. 12-style sweep: voxel size vs quality and efficiency."""
-    rows = []
-    for voxel_size in (1.0, 1.5, 2.0, 3.0):
-        context = get_scene_context("train", voxel_size=voxel_size)
-        gpu_report = gpu_model.evaluate(context.workload)
-        report = StreamingGSAccelerator().evaluate(context.workload)
-        rows.append(
-            [
-                voxel_size,
-                round(context.streaming_psnr, 2),
-                round(report.speedup_over(gpu_report), 1),
-                round(report.energy_saving_over(gpu_report), 1),
-            ]
-        )
-    return format_table(
-        ["voxel size", "PSNR (dB)", "speedup (x)", "energy savings (x)"],
-        rows,
+    # Fig. 12-style sweep: voxel size vs quality and efficiency.
+    voxels = session.sweep(base, voxel_size=(1.0, 1.5, 2.0, 3.0))
+    print(voxels.table(
+        ["streaming_psnr", "speedup", "energy_savings"],
         title="Voxel-size design space (train scene)",
-    )
-
-
-def main() -> None:
-    gpu = OrinNXModel()
-    context = get_scene_context("train")
-    gpu_report = gpu.evaluate(context.workload)
-
-    print(sweep_filter_units(context.workload, gpu_report))
+    ))
     print()
-    print(sweep_voxel_size(gpu))
-    print()
-    default_area = AreaModel().table1()
-    print(f"Default configuration area: {default_area.total_mm2:.2f} mm^2 "
+
+    table1 = session.run("tab1")
+    print(f"Default configuration area: {table1.metrics['total_mm2']:.2f} mm^2 "
           "(paper Table I: 5.37 mm^2)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

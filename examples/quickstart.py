@@ -1,59 +1,80 @@
-"""Quickstart: render a scene with the tile-centric and streaming pipelines.
+"""Quickstart: one declarative experiment through ``repro.api``.
 
 Run with::
 
     python examples/quickstart.py
+    python examples/quickstart.py --scene lego --resolution-scale 0.5
 
-The script builds the procedural "lego" scene, renders it with the
-tile-centric reference rasterizer (the original 3DGS pipeline) and with the
-memory-centric streaming renderer (the paper's contribution), compares the
-two images and prints the workload statistics the architecture model feeds
-on.
+The script opens a :class:`repro.api.Session`, builds the evaluation
+context of one scene (procedural model, calibrated "trained" model,
+tile-centric and streaming renders), then runs a declarative
+:class:`repro.api.ExperimentSpec` point end to end — streaming render,
+paper-scale workload, accelerator model — and prints the typed
+:class:`repro.api.ExperimentResult`.
 """
 
 from __future__ import annotations
 
-from repro import StreamingConfig, StreamingRenderer, TileRasterizer
-from repro.gaussians.metrics import psnr
-from repro.scenes.registry import SCENE_REGISTRY, build_scene, default_eval_camera
+import argparse
+import json
+
+from repro.api import ExperimentSpec, Session
 
 
-def main() -> None:
-    scene = "lego"
-    descriptor = SCENE_REGISTRY[scene]
-    print(f"Scene: {scene} ({descriptor.dataset}, {descriptor.category})")
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scene", default="lego", help="registered scene name")
+    parser.add_argument("--algorithm", default="3dgs", help="base algorithm variant")
+    parser.add_argument(
+        "--resolution-scale",
+        type=float,
+        default=1.0,
+        help="scale on the simulated evaluation resolution (use 0.5 for a quick run)",
+    )
+    args = parser.parse_args(argv)
 
-    model = build_scene(scene)
-    camera = default_eval_camera(scene)
-    print(f"  Gaussians (simulated): {len(model)}")
-    print(f"  Evaluation resolution: {camera.width}x{camera.height}")
+    session = Session()
+    context = session.context(
+        args.scene, algorithm=args.algorithm, resolution_scale=args.resolution_scale
+    )
+    descriptor = context.descriptor
+    print(f"Scene: {context.scene} ({descriptor.dataset}, {descriptor.category})")
+    print(f"  Gaussians (simulated): {len(context.trained)}")
+    print(f"  Evaluation resolution: {context.camera.width}x{context.camera.height}")
 
-    # 1. The tile-centric reference pipeline (original 3DGS).
-    reference = TileRasterizer().render(model, camera)
+    tile_stats = context.tile_output.stats
     print("\nTile-centric reference render")
-    print(f"  projected Gaussians : {reference.stats.num_projected}")
-    print(f"  (Gaussian, tile) pairs : {reference.stats.num_tile_pairs}")
-    print(f"  blended fragments   : {reference.stats.num_blended_fragments}")
+    print(f"  projected Gaussians : {tile_stats.num_projected}")
+    print(f"  (Gaussian, tile) pairs : {tile_stats.num_tile_pairs}")
+    print(f"  blended fragments   : {tile_stats.num_blended_fragments}")
 
-    # 2. The fully streaming, memory-centric pipeline.
-    config = StreamingConfig.for_scene_category(descriptor.category)
-    renderer = StreamingRenderer(model, config)
-    streaming = renderer.render(camera)
-    stats = streaming.stats
+    stats = context.streaming_output.stats
     print("\nStreaming (memory-centric) render")
-    print(f"  voxel size          : {config.voxel_size}")
-    print(f"  non-empty voxels    : {renderer.grid.num_voxels}")
+    print(f"  voxel size          : {context.streaming_config.voxel_size}")
+    print(f"  non-empty voxels    : {context.streaming_renderer.grid.num_voxels}")
     print(f"  voxels per tile     : {stats.mean_voxels_per_tile:.1f}")
     print(f"  Gaussians streamed  : {stats.gaussians_streamed}")
     print(f"  filtering reduction : {100 * stats.filtering_reduction:.1f}%")
     print(f"  DRAM traffic        : {stats.traffic.total_bytes / 1e6:.2f} MB")
     print(f"  error Gaussian ratio: {100 * stats.error_gaussian_ratio:.2f}%")
 
-    # 3. The two images should match closely.
-    quality = psnr(reference.image, streaming.image)
-    print(f"\nStreaming vs. tile-centric PSNR: {quality:.2f} dB")
-    print("(higher is better; identical pipelines would give infinity)")
+    spec = ExperimentSpec(
+        scene=args.scene,
+        algorithm=args.algorithm,
+        resolution_scale=args.resolution_scale,
+    )
+    result = session.run(spec)
+    print(f"\n{result.format()}")
+    print(f"\nPSNR vs ground truth: streaming {result.metrics['streaming_psnr']:.2f} dB, "
+          f"tile-centric baseline {result.metrics['baseline_psnr']:.2f} dB "
+          f"(drop {result.metrics['psnr_drop']:.2f} dB)")
+
+    # The result is machine-readable too: to_json() round-trips losslessly.
+    roundtrip = type(result).from_json(result.to_json())
+    assert roundtrip.to_dict() == result.to_dict()
+    print(f"result metrics as JSON: {json.dumps(result.metrics, sort_keys=True)[:76]}...")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

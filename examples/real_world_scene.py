@@ -4,27 +4,31 @@ Run with::
 
     python examples/real_world_scene.py
 
-This follows the paper's evaluation flow for one Tanks&Temples-style scene:
+This follows the paper's evaluation flow for one Tanks&Temples-style scene,
+expressed through the declarative ``repro.api`` front-end:
 
-1. build the procedural reference scene and calibrate a "trained" model to
-   the paper's reported PSNR (Table II);
-2. render it with the streaming pipeline and collect the workload;
-3. scale the workload to paper-scale statistics and evaluate the Orin NX
-   GPU, GSCore and STREAMINGGS hardware models on it (Fig. 3/4/11).
+1. open a :class:`repro.api.Session` and build the scene's evaluation
+   context (calibrated "trained" model, streaming render, paper-scale
+   workload);
+2. sweep the hardware axis — Orin NX GPU, GSCore, the streaming
+   accelerator without coarse-grained filtering, and full STREAMINGGS —
+   with one ``session.sweep`` call (Fig. 3/4/11);
+3. print the typed results' metrics side by side.
 """
 
 from __future__ import annotations
 
-from repro.analysis.context import get_scene_context
-from repro.arch.accelerator import AcceleratorConfig, StreamingGSAccelerator
-from repro.arch.gpu import OrinNXModel
-from repro.arch.gscore import GSCoreModel
+from repro.api import ExperimentSpec, Session
 from repro.arch.traffic import tile_centric_traffic
 
+#: Hardware points compared, in presentation order.
+HARDWARE = ("gpu", "gscore", "wo_cgf", "streaminggs")
 
-def main() -> None:
+
+def main() -> int:
     scene = "truck"
-    context = get_scene_context(scene)
+    session = Session()
+    context = session.context(scene)
     descriptor = context.descriptor
     workload = context.workload
 
@@ -49,34 +53,25 @@ def main() -> None:
           f"{tile_traffic.required_bandwidth(90.0) / 1e9:.1f} GB/s "
           f"(Orin NX limit: 102.4 GB/s)")
 
-    gpu = OrinNXModel().evaluate(workload)
-    gscore = GSCoreModel().evaluate(workload)
-    full = StreamingGSAccelerator().evaluate(workload)
-    wo_cgf = StreamingGSAccelerator(AcceleratorConfig.variant("wo_cgf")).evaluate(workload)
-
+    # One declarative sweep over the hardware axis; every point reuses the
+    # scene context prepared above through the shared session.
+    comparison = session.sweep(ExperimentSpec(scene=scene), arch=HARDWARE)
     print("\nHardware comparison (per frame)")
-    header = f"  {'design':<14}{'time (ms)':>12}{'FPS':>9}{'energy (mJ)':>14}{'DRAM (MB)':>12}"
-    print(header)
-    print("  " + "-" * (len(header) - 2))
-    for report in (gpu, gscore, wo_cgf, full):
-        print(
-            f"  {report.name:<14}{report.frame_time_s * 1e3:>12.2f}"
-            f"{report.fps:>9.1f}{report.energy_per_frame_j * 1e3:>14.2f}"
-            f"{report.dram_bytes / 1e6:>12.1f}"
-        )
+    print(comparison.table(["frame_time_ms", "fps", "energy_per_frame_mj", "dram_mb_per_frame"]))
 
     print("\nSpeedup / energy savings over the GPU")
-    for report in (gscore, wo_cgf, full):
-        print(
-            f"  {report.name:<14}{report.speedup_over(gpu):>8.1f}x speedup, "
-            f"{report.energy_saving_over(gpu):>7.1f}x energy"
-        )
+    print(comparison.table(["speedup", "energy_savings"]))
+
+    full = comparison[HARDWARE.index("streaminggs")]
+    gscore = comparison[HARDWARE.index("gscore")]
     print(
-        f"\nSTREAMINGGS vs GSCore: {full.speedup_over(gscore):.2f}x speedup, "
-        f"{full.energy_saving_over(gscore):.2f}x energy "
+        f"\nSTREAMINGGS vs GSCore: "
+        f"{full.metrics['speedup'] / gscore.metrics['speedup']:.2f}x speedup, "
+        f"{full.metrics['energy_savings'] / gscore.metrics['energy_savings']:.2f}x energy "
         f"(paper: 2.1x / 2.3x)"
     )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

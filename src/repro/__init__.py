@@ -49,6 +49,15 @@ architectural support.  The package is organised as:
 ``repro.analysis``
     The experiment harness that regenerates every table and figure in the
     paper's evaluation section.
+
+``repro.api``
+    The declarative front-end: :class:`~repro.api.session.Session` owns the
+    render service, scene cache and seeded RNG; experiments are declared as
+    :class:`~repro.api.spec.ExperimentSpec` points (scene x algorithm x
+    compression x config overrides x arch model) or expanded into parameter
+    grids with :func:`~repro.api.spec.sweep`, and every run returns a typed
+    :class:`~repro.api.result.ExperimentResult` with ``.format()``,
+    ``.metrics`` and ``.to_json()``.
 """
 
 from repro.gaussians.model import GaussianModel
@@ -61,8 +70,16 @@ from repro.scenes.registry import SCENE_REGISTRY, build_scene
 from repro.arch.accelerator import StreamingGSAccelerator
 from repro.arch.gpu import OrinNXModel
 from repro.arch.gscore import GSCoreModel
+from repro.api import (
+    ExperimentResult,
+    ExperimentSpec,
+    Session,
+    SweepResult,
+    get_default_session,
+    sweep,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GaussianModel",
@@ -78,5 +95,11 @@ __all__ = [
     "StreamingGSAccelerator",
     "OrinNXModel",
     "GSCoreModel",
+    "Session",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "SweepResult",
+    "sweep",
+    "get_default_session",
     "__version__",
 ]

@@ -1,8 +1,9 @@
 """Experiment harness: regenerates every table and figure of the evaluation.
 
 Each experiment function returns a small result dataclass holding both the
-measured series/rows and the paper's reported values, so the benchmark
-harness (and EXPERIMENTS.md) can show them side by side.
+measured series/rows and the paper's reported values; the API layer
+(:mod:`repro.api.experiments`) adapts them into uniform
+:class:`~repro.api.result.ExperimentResult` objects.
 
 Experiment index (see DESIGN.md for the full mapping):
 
@@ -16,29 +17,44 @@ Experiment index (see DESIGN.md for the full mapping):
 * :func:`repro.analysis.sensitivity.run_fig13` — CFU/FFU sensitivity
 * :func:`repro.analysis.claims.run_supporting_claims` — filtering / VQ claims
 * :func:`repro.arch.area.AreaModel.table1` — Table I (area)
+
+The experiment modules import the API layer (their runs share the default
+:class:`~repro.api.session.Session`), so the re-exports below resolve
+lazily to keep ``repro.analysis.report`` importable from inside
+``repro.api`` without a cycle.
 """
 
-from repro.analysis.context import SceneContext, get_scene_context, clear_context_cache
-from repro.analysis.characterization import run_fig2, run_fig3, run_fig4
-from repro.analysis.quality import run_table2, run_fig7
-from repro.analysis.performance import run_fig11
-from repro.analysis.sensitivity import run_fig12, run_fig13
-from repro.analysis.claims import run_supporting_claims
-from repro.analysis.report import format_table, format_series
+from importlib import import_module
 
-__all__ = [
-    "SceneContext",
-    "get_scene_context",
-    "clear_context_cache",
-    "run_fig2",
-    "run_fig3",
-    "run_fig4",
-    "run_table2",
-    "run_fig7",
-    "run_fig11",
-    "run_fig12",
-    "run_fig13",
-    "run_supporting_claims",
-    "format_table",
-    "format_series",
-]
+from repro.analysis.report import format_series, format_table
+
+#: Lazily re-exported name -> defining submodule.
+_LAZY = {
+    "SceneContext": "repro.analysis.context",
+    "build_scene_context": "repro.analysis.context",
+    "get_scene_context": "repro.analysis.context",
+    "clear_context_cache": "repro.analysis.context",
+    "run_fig2": "repro.analysis.characterization",
+    "run_fig3": "repro.analysis.characterization",
+    "run_fig4": "repro.analysis.characterization",
+    "run_table2": "repro.analysis.quality",
+    "run_fig7": "repro.analysis.quality",
+    "run_fig11": "repro.analysis.performance",
+    "run_fig12": "repro.analysis.sensitivity",
+    "run_fig13": "repro.analysis.sensitivity",
+    "run_supporting_claims": "repro.analysis.claims",
+}
+
+__all__ = ["format_table", "format_series"] + sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        value = getattr(import_module(_LAZY[name]), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

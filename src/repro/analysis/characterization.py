@@ -10,10 +10,10 @@ traffic (Fig. 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.context import get_scene_context
 from repro.analysis.report import format_table
+from repro.api.session import Session, get_default_session
 from repro.arch.gpu import OrinNXModel
 from repro.arch.technology import ORIN_NX
 from repro.arch.traffic import tile_centric_traffic
@@ -79,8 +79,12 @@ class TrafficBreakdownResult:
         )
 
 
-def run_fig2(scenes: Sequence[str] = CHARACTERIZATION_SCENES) -> TrafficBreakdownResult:
+def run_fig2(
+    scenes: Sequence[str] = CHARACTERIZATION_SCENES,
+    session: Optional[Session] = None,
+) -> TrafficBreakdownResult:
     """Reproduce Fig. 2's per-stage traffic proportions."""
+    session = session or get_default_session()
     stage_fractions: Dict[str, List[float]] = {
         "projection": [],
         "sorting": [],
@@ -88,7 +92,7 @@ def run_fig2(scenes: Sequence[str] = CHARACTERIZATION_SCENES) -> TrafficBreakdow
     }
     intermediate = []
     for scene in scenes:
-        context = get_scene_context(scene)
+        context = session.context(scene)
         traffic = tile_centric_traffic(context.workload)
         fractions = traffic.fractions()
         for stage in stage_fractions:
@@ -124,12 +128,16 @@ class GpuFpsResult:
         )
 
 
-def run_fig3(scenes: Sequence[str] = CHARACTERIZATION_SCENES) -> GpuFpsResult:
+def run_fig3(
+    scenes: Sequence[str] = CHARACTERIZATION_SCENES,
+    session: Optional[Session] = None,
+) -> GpuFpsResult:
     """Reproduce Fig. 3: per-scene GPU FPS (paper range: 2-9 FPS)."""
+    session = session or get_default_session()
     gpu = OrinNXModel(ORIN_NX)
     measured, paper, categories = [], [], []
     for scene in scenes:
-        context = get_scene_context(scene)
+        context = session.context(scene)
         measured.append(gpu.fps(context.workload))
         paper.append(SCENE_REGISTRY[scene].orin_fps)
         categories.append(SCENE_REGISTRY[scene].category)
@@ -185,9 +193,12 @@ class BandwidthResult:
 
 
 def run_fig4(
-    scenes: Sequence[str] = CHARACTERIZATION_SCENES, fps: float = 90.0
+    scenes: Sequence[str] = CHARACTERIZATION_SCENES,
+    fps: float = 90.0,
+    session: Optional[Session] = None,
 ) -> BandwidthResult:
     """Reproduce Fig. 4: per-stage bandwidth demand at 90 FPS."""
+    session = session or get_default_session()
     stage_gbs: Dict[str, List[float]] = {
         "projection": [],
         "sorting": [],
@@ -195,7 +206,7 @@ def run_fig4(
     }
     totals, categories = [], []
     for scene in scenes:
-        context = get_scene_context(scene)
+        context = session.context(scene)
         traffic = tile_centric_traffic(context.workload)
         breakdown = traffic.breakdown()
         for stage in stage_gbs:

@@ -14,9 +14,10 @@ about its algorithm that the reproduction should exhibit:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.analysis.context import get_scene_context
 from repro.analysis.report import format_table
+from repro.api.session import Session, get_default_session
 from repro.core.hierarchical_filter import COARSE_FILTER_MACS, FINE_FILTER_MACS
 
 #: Paper values.
@@ -66,9 +67,12 @@ class SupportingClaimsResult:
         )
 
 
-def run_supporting_claims(scene: str = "train") -> SupportingClaimsResult:
+def run_supporting_claims(
+    scene: str = "train", session: Optional[Session] = None
+) -> SupportingClaimsResult:
     """Measure the three supporting claims on one scene."""
-    context = get_scene_context(scene)
+    session = session or get_default_session()
+    context = session.context(scene)
     workload = context.workload
     layout = context.streaming_renderer.layout
     return SupportingClaimsResult(

@@ -1,34 +1,33 @@
-"""Cached per-scene evaluation contexts.
+"""Per-scene evaluation contexts.
 
 Building a scene context is the expensive part of every experiment: it
 instantiates the procedural scene, applies the base algorithm
 (3DGS / Mini-Splatting / LightGaussian), calibrates the "trained" model to
 the paper's PSNR for that (scene, algorithm) pair, renders the tile-centric
 reference, runs the streaming pipeline and derives the paper-scale workload.
-Contexts are memoised per (scene, algorithm, voxel size, resolution scale)
-so the figure/table experiments and the benchmark suite share them within a
-process.
 
-All rendering goes through the process-wide engine
-:class:`~repro.engine.service.RenderService`, so contexts additionally
-share streaming renderers (voxel grids, layouts, quantizers) and prepared
-frames with any other code rendering the same models and views.
+:func:`build_scene_context` is the pure builder; callers pass the
+:class:`~repro.engine.service.RenderService` all rendering goes through.
+Caching lives in :class:`repro.api.session.Session`, which memoises
+contexts per (scene, algorithm, config, resolution scale) — the
+figure/table experiments and the benchmark suite share them through the
+process-wide default session.  :func:`get_scene_context` is the historical
+module-level entry point and delegates to that default session.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Optional
 
 from repro.arch.workload import FullScaleWorkload, build_workload
 from repro.core.config import StreamingConfig
 from repro.core.pipeline import StreamingRenderer, StreamingRenderOutput
-from repro.engine.service import RenderRequest, get_default_service
+from repro.engine.service import RenderRequest, RenderService, get_default_service
 from repro.gaussians.camera import Camera
 from repro.gaussians.metrics import psnr
 from repro.gaussians.model import GaussianModel
-from repro.gaussians.rasterizer import RenderOutput, TileRasterizer
+from repro.gaussians.rasterizer import RenderOutput
 from repro.scenes.fitting import FittedScene, fit_trained_model
 from repro.scenes.registry import (
     SCENE_REGISTRY,
@@ -62,13 +61,35 @@ class SceneContext:
         return self.descriptor.name
 
 
-def _build_context(
+def build_scene_context(
     scene: str,
-    algorithm: str,
-    voxel_size: float,
-    resolution_scale: float,
+    algorithm: str = "3dgs",
+    config: Optional[StreamingConfig] = None,
+    resolution_scale: float = 1.0,
+    service: Optional[RenderService] = None,
 ) -> SceneContext:
+    """Build one evaluation context (uncached).
+
+    Parameters
+    ----------
+    scene:
+        Registered scene name.
+    algorithm:
+        Base algorithm (``3dgs``, ``mini_splatting``, ``light_gaussian``).
+    config:
+        Streaming configuration; ``None`` uses the paper's default voxel
+        size for the scene's category.
+    resolution_scale:
+        Scale factor on the simulated evaluation resolution.
+    service:
+        Render service every render goes through (the process-wide default
+        service when omitted).
+    """
+    if scene not in SCENE_REGISTRY:
+        raise KeyError(f"unknown scene {scene!r}; available: {sorted(SCENE_REGISTRY)}")
+    service = service if service is not None else get_default_service()
     descriptor = SCENE_REGISTRY[scene]
+    config = config or StreamingConfig(voxel_size=descriptor.default_voxel_size)
     camera = default_eval_camera(scene, resolution_scale=resolution_scale)
     reference = build_scene(scene)
 
@@ -76,17 +97,15 @@ def _build_context(
     reference_variant = algo.transform(reference, cameras=[camera])
 
     target = descriptor.target_psnr.get(algorithm, descriptor.target_psnr["3dgs"])
-    rasterizer = TileRasterizer()
     fitted: FittedScene = fit_trained_model(
-        reference_variant, camera, target_psnr=target, rasterizer=rasterizer
+        reference_variant,
+        camera,
+        target_psnr=target,
+        rasterizer=service.tile_rasterizer(config),
     )
     trained = fitted.trained
     ground_truth = fitted.ground_truth
 
-    effective_voxel = voxel_size if voxel_size > 0 else descriptor.default_voxel_size
-    config = StreamingConfig(voxel_size=effective_voxel)
-
-    service = get_default_service()
     tile_response, streaming_response = service.render_batch(
         [
             RenderRequest(model=trained, camera=camera, config=config, mode="tile"),
@@ -128,13 +147,6 @@ def _build_context(
     )
 
 
-@lru_cache(maxsize=64)
-def _cached_context(
-    scene: str, algorithm: str, voxel_size: float, resolution_scale: float
-) -> SceneContext:
-    return _build_context(scene, algorithm, voxel_size, resolution_scale)
-
-
 def get_scene_context(
     scene: str,
     algorithm: str = "3dgs",
@@ -142,6 +154,10 @@ def get_scene_context(
     resolution_scale: float = 1.0,
 ) -> SceneContext:
     """The memoised evaluation context of one (scene, algorithm) pair.
+
+    Delegates to the process-wide default
+    :class:`~repro.api.session.Session`, so contexts are shared with every
+    experiment running through it.
 
     Parameters
     ----------
@@ -156,16 +172,20 @@ def get_scene_context(
         Scale factor on the simulated evaluation resolution (1.0 keeps the
         registry default).
     """
-    if scene not in SCENE_REGISTRY:
-        raise KeyError(f"unknown scene {scene!r}")
-    return _cached_context(
-        scene, algorithm, float(voxel_size or 0.0), float(resolution_scale)
+    from repro.api.session import get_default_session
+
+    return get_default_session().context(
+        scene,
+        algorithm=algorithm,
+        voxel_size=voxel_size,
+        resolution_scale=resolution_scale,
     )
 
 
 def clear_context_cache() -> None:
     """Drop all memoised contexts and shared renderers (used by tests)."""
+    from repro.api.session import reset_default_session
     from repro.engine.service import reset_default_service
 
-    _cached_context.cache_clear()
+    reset_default_session()
     reset_default_service()

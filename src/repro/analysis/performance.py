@@ -10,12 +10,12 @@ full STREAMINGGS design.  Numbers are averaged over the evaluation scenes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.context import get_scene_context
 from repro.analysis.report import format_table
+from repro.api.session import Session, get_default_session
 from repro.arch.accelerator import AcceleratorConfig, StreamingGSAccelerator
 from repro.arch.gpu import OrinNXModel
 from repro.arch.gscore import GSCoreModel
@@ -120,15 +120,17 @@ def run_fig11(
     scenes: Sequence[str] = FIG11_SCENES,
     algorithms: Sequence[str] = FIG11_ALGORITHMS,
     variants: Sequence[str] = FIG11_VARIANTS,
+    session: Optional[Session] = None,
 ) -> Fig11Result:
     """Reproduce Fig. 11: per-algorithm speedup and energy savings."""
+    session = session or get_default_session()
     result = Fig11Result(algorithms=list(algorithms), variants=list(variants))
     gpu = OrinNXModel()
     for algorithm in algorithms:
         speedups: Dict[str, List[float]] = {variant: [] for variant in variants}
         energies: Dict[str, List[float]] = {variant: [] for variant in variants}
         for scene in scenes:
-            context = get_scene_context(scene, algorithm=algorithm)
+            context = session.context(scene, algorithm=algorithm)
             gpu_report = gpu.evaluate(context.workload)
             for variant in variants:
                 report = _hardware_report(variant, context.workload)

@@ -9,14 +9,13 @@ boundary-aware fine-tuning.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.context import get_scene_context
 from repro.analysis.report import format_table
+from repro.api.session import Session, get_default_session
 from repro.core.config import StreamingConfig
-from repro.engine.service import RenderRequest, RenderService, get_default_service
 from repro.gaussians.metrics import psnr
 from repro.scenes.registry import SCENE_REGISTRY
 from repro.training.boundary_finetune import BoundaryFinetuneResult, boundary_aware_finetune
@@ -134,6 +133,7 @@ PAPER_TABLE2: Dict[str, Dict[str, Tuple[float, float]]] = {
 def run_table2(
     scenes: Sequence[str] = TABLE2_SCENES,
     algorithms: Sequence[str] = TABLE2_ALGORITHMS,
+    session: Optional[Session] = None,
 ) -> Table2Result:
     """Reproduce Table II.
 
@@ -142,10 +142,11 @@ def run_table2(
     render of the same model; both are scored against the same ground-truth
     image.
     """
+    session = session or get_default_session()
     result = Table2Result()
     for algorithm in algorithms:
         for scene in scenes:
-            context = get_scene_context(scene, algorithm=algorithm)
+            context = session.context(scene, algorithm=algorithm)
             paper_baseline, paper_ours = PAPER_TABLE2[algorithm][scene]
             result.rows.append(
                 QualityRow(
@@ -207,6 +208,7 @@ def run_fig7(
     scene: str = "train",
     iterations: int = 3000,
     probe_every: int = 500,
+    session: Optional[Session] = None,
 ) -> Fig7Result:
     """Reproduce Fig. 7 on the train scene.
 
@@ -214,24 +216,23 @@ def run_fig7(
     photometric surrogate refines DC colours against the pre-fine-tuning
     render of the trained model (the stand-in for the training images).
     """
-    context = get_scene_context(scene)
+    session = session or get_default_session()
+    context = session.context(scene)
     config: StreamingConfig = context.streaming_config
     camera = context.camera
     ground_truth = context.ground_truth
-    photometric_target = get_default_service().render(
-        RenderRequest(model=context.trained, camera=camera, config=config, mode="tile")
+    photometric_target = session.render(
+        context.trained, camera, config=config, mode="tile"
     ).image
     # Fine-tuning probes render throwaway parameter snapshots (the loop
     # mutates one model in place between probes, so every probe has a new
-    # content fingerprint and builds a new renderer).  A single-slot local
-    # service keeps them from evicting the shared scene-context renderers
-    # and from outliving the experiment.
-    probe_service = RenderService(max_renderers=1)
+    # content fingerprint and builds a new renderer).  A single-slot
+    # isolated session keeps them from evicting the shared scene-context
+    # renderers and from outliving the experiment.
+    probe_session = session.isolated(max_renderers=1)
 
     def probe(model) -> Tuple[np.ndarray, float, float]:
-        output = probe_service.render(
-            RenderRequest(model=model, camera=camera, config=config)
-        ).output
+        output = probe_session.render(model, camera, config=config).output
         stats = output.stats
         return (
             stats.error_gaussian_indices(),

@@ -1,41 +1,31 @@
-"""Experiment registry and command-line entry point.
+"""Experiment registry front-end and command-line entry point.
 
 Lets a user regenerate any single table or figure without going through the
 benchmark harness::
 
     python -m repro.analysis.runner --list
     python -m repro.analysis.runner fig3 fig4
+    python -m repro.analysis.runner fig12 --json
     python -m repro.analysis.runner all
+
+Experiments are defined in :mod:`repro.api.experiments`; every run goes
+through the process-wide :class:`~repro.api.session.Session`, so a multi-
+experiment invocation shares scene contexts and renderers, and every
+experiment returns a typed :class:`~repro.api.result.ExperimentResult`
+(``--json`` emits its machine-readable form).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
+import sys
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-from repro.analysis.characterization import run_fig2, run_fig3, run_fig4
-from repro.analysis.claims import run_supporting_claims
-from repro.analysis.performance import run_fig11
-from repro.analysis.quality import run_fig7, run_table2
-from repro.analysis.report import format_table
-from repro.analysis.sensitivity import run_fig12, run_fig13
-from repro.arch.area import AreaModel
-from repro.engine.bench import run_kernel_benchmark
-
-
-def _run_tab1() -> "object":
-    """Table I wrapper so every experiment has the same call shape."""
-    breakdown = AreaModel().table1()
-
-    class _Tab1Result:
-        def format(self) -> str:
-            rows = [[name, f"{area:.3f}"] for name, area in breakdown.as_rows()]
-            return format_table(
-                ["component", "area (mm^2)"], rows, title="Table I — configuration and area"
-            )
-
-    return _Tab1Result()
+from repro.api.experiments import REGISTRY, get_experiment
+from repro.api.result import ExperimentResult
+from repro.api.session import get_default_session
 
 
 @dataclass(frozen=True)
@@ -44,32 +34,34 @@ class Experiment:
 
     name: str
     description: str
-    runner: Callable[[], object]
+    runner: Callable[[], ExperimentResult]
 
 
+def _run_registered(name: str) -> ExperimentResult:
+    return get_experiment(name).build(get_default_session())
+
+
+#: Name -> experiment view of the :mod:`repro.api.experiments` registry.
 EXPERIMENTS: Dict[str, Experiment] = {
-    "fig2": Experiment("fig2", "DRAM traffic breakdown of tile-centric 3DGS", run_fig2),
-    "fig3": Experiment("fig3", "3DGS FPS on the Orin NX GPU", run_fig3),
-    "fig4": Experiment("fig4", "DRAM bandwidth needed for 90 FPS", run_fig4),
-    "fig7": Experiment("fig7", "Boundary-aware fine-tuning (train scene)", run_fig7),
-    "tab1": Experiment("tab1", "Accelerator configuration and area", _run_tab1),
-    "tab2": Experiment("tab2", "Rendering quality (PSNR) comparison", run_table2),
-    "fig11": Experiment("fig11", "End-to-end speedup and energy savings", run_fig11),
-    "fig12": Experiment("fig12", "Voxel-size sensitivity", run_fig12),
-    "fig13": Experiment("fig13", "CFU/FFU sensitivity", run_fig13),
-    "claims": Experiment("claims", "Supporting filtering / VQ claims", run_supporting_claims),
-    "engine": Experiment(
-        "engine", "Blending-kernel micro-benchmark (engine layer)", run_kernel_benchmark
-    ),
+    name: Experiment(
+        name=name,
+        description=definition.description,
+        runner=functools.partial(_run_registered, name),
+    )
+    for name, definition in REGISTRY.items()
 }
+
+
+def run_experiment_result(name: str) -> ExperimentResult:
+    """Run one experiment by name and return its typed result."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name].runner()
 
 
 def run_experiment(name: str) -> str:
     """Run one experiment by name and return its formatted report."""
-    if name not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
-    result = EXPERIMENTS[name].runner()
-    return result.format()
+    return run_experiment_result(name).format()
 
 
 def list_experiments() -> List[str]:
@@ -77,7 +69,7 @@ def list_experiments() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
         prog="repro.analysis.runner",
@@ -91,6 +83,12 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per experiment per line (JSON Lines, "
+        "ExperimentResult.to_json) instead of text",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -101,9 +99,21 @@ def main(argv: List[str] = None) -> int:
     names = (
         list(EXPERIMENTS) if args.experiments == ["all"] else list(args.experiments)
     )
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"error: unknown experiment(s) {unknown}; available: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
     for name in names:
-        print(run_experiment(name))
-        print()
+        result = run_experiment_result(name)
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.format())
+            print()
     return 0
 
 

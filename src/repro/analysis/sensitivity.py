@@ -4,20 +4,24 @@ Fig. 12 sweeps the voxel size on the train scene and reports energy savings
 (over the GPU) together with rendering quality.  Fig. 13 sweeps the number
 of coarse- and fine-grained filter units per HFU and reports the speedup
 over the GPU.
+
+Both figures are expressed as declarative :func:`repro.api.spec.sweep`
+grids run through the shared :class:`~repro.api.session.Session` — the
+voxel size routes to a :class:`~repro.core.config.StreamingConfig` override
+and the CFU/FFU counts route to
+:class:`~repro.arch.accelerator.AcceleratorConfig` options automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.context import get_scene_context
 from repro.analysis.report import format_series, format_table
-from repro.arch.accelerator import AcceleratorConfig, StreamingGSAccelerator
-from repro.arch.area import AreaModel
-from repro.arch.gpu import OrinNXModel
+from repro.api.session import Session, get_default_session
+from repro.api.spec import ExperimentSpec, sweep
 
 #: Fig. 12 voxel sizes (scene units, train scene).
 FIG12_VOXEL_SIZES = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
@@ -60,21 +64,21 @@ class Fig12Result:
 
 
 def run_fig12(
-    scene: str = "train", voxel_sizes: Sequence[float] = FIG12_VOXEL_SIZES
+    scene: str = "train",
+    voxel_sizes: Sequence[float] = FIG12_VOXEL_SIZES,
+    session: Optional[Session] = None,
 ) -> Fig12Result:
     """Reproduce Fig. 12: energy savings and PSNR vs. voxel size."""
-    gpu = OrinNXModel()
-    energy_savings, quality = [], []
-    for voxel_size in voxel_sizes:
-        context = get_scene_context(scene, voxel_size=float(voxel_size))
-        gpu_report = gpu.evaluate(context.workload)
-        accel_report = StreamingGSAccelerator().evaluate(context.workload)
-        energy_savings.append(accel_report.energy_saving_over(gpu_report))
-        quality.append(context.streaming_psnr)
+    session = session or get_default_session()
+    specs = sweep(
+        ExperimentSpec(scene=scene, arch="streaminggs"),
+        voxel_size=[float(v) for v in voxel_sizes],
+    )
+    points = session.run_sweep(specs, swept=["voxel_size"])
     return Fig12Result(
         voxel_sizes=list(voxel_sizes),
-        energy_savings=energy_savings,
-        psnr=quality,
+        energy_savings=points.metric("energy_savings"),
+        psnr=points.metric("streaming_psnr"),
         scene=scene,
     )
 
@@ -116,20 +120,22 @@ def run_fig13(
     scene: str = "train",
     cfus: Sequence[int] = FIG13_CFUS,
     ffus: Sequence[int] = FIG13_FFUS,
+    session: Optional[Session] = None,
 ) -> Fig13Result:
     """Reproduce Fig. 13: speedup as a function of CFU and FFU counts."""
-    context = get_scene_context(scene)
-    gpu_report = OrinNXModel().evaluate(context.workload)
-    area_model = AreaModel()
+    session = session or get_default_session()
+    specs = sweep(
+        ExperimentSpec(scene=scene, arch="streaminggs"),
+        cfus_per_hfu=[int(c) for c in cfus],
+        ffus_per_hfu=[int(f) for f in ffus],
+    )
+    points = session.run_sweep(specs, swept=["cfus_per_hfu", "ffus_per_hfu"])
     result = Fig13Result(cfus=list(cfus), ffus=list(ffus), scene=scene)
-    for num_cfu in cfus:
+    for i, num_cfu in enumerate(result.cfus):
         result.speedup[num_cfu] = {}
         result.area_mm2[num_cfu] = {}
-        for num_ffu in ffus:
-            config = AcceleratorConfig(cfus_per_hfu=num_cfu, ffus_per_hfu=num_ffu)
-            report = StreamingGSAccelerator(config).evaluate(context.workload)
-            result.speedup[num_cfu][num_ffu] = report.speedup_over(gpu_report)
-            result.area_mm2[num_cfu][num_ffu] = area_model.breakdown(
-                cfus_per_hfu=num_cfu, ffus_per_hfu=num_ffu
-            ).total_mm2
+        for j, num_ffu in enumerate(result.ffus):
+            point = points[i * len(result.ffus) + j]
+            result.speedup[num_cfu][num_ffu] = point.metric("speedup")
+            result.area_mm2[num_cfu][num_ffu] = point.metric("area_mm2")
     return result

@@ -1,0 +1,52 @@
+"""Declarative front-end for running anything in the repository.
+
+The public surface:
+
+* :class:`~repro.api.session.Session` — owns a render service, a scene
+  cache and a seeded RNG; everything runs through it.
+* :class:`~repro.api.spec.ExperimentSpec` — one declarative evaluation
+  point (scene x algorithm x compression x config overrides x arch model).
+* :func:`~repro.api.spec.sweep` — expands parameter grids into spec lists
+  (Fig. 12 / Fig. 13-style sensitivity studies).
+* :class:`~repro.api.result.ExperimentResult` /
+  :class:`~repro.api.result.SweepResult` — uniform typed results with
+  ``.format()``, ``.metrics``, ``.to_dict()`` / ``.to_json()``.
+* ``repro.api.experiments`` — the registry of the paper's regenerable
+  artifacts (``fig2`` ... ``engine``), reachable via ``Session.run(name)``
+  and the CLI runner.
+
+Quickstart::
+
+    from repro.api import ExperimentSpec, Session
+
+    session = Session()
+    result = session.run(ExperimentSpec(scene="train"))
+    print(result.format())
+    print(result.metrics["speedup"], result.metrics["streaming_psnr"])
+
+    study = session.sweep(ExperimentSpec(scene="train"),
+                          voxel_size=(1.0, 2.0, 3.0))
+    print(study.table(["energy_savings", "streaming_psnr"]))
+"""
+
+from repro.api.result import ExperimentResult, SweepResult, jsonify
+from repro.api.spec import (
+    ARCH_MODELS,
+    COMPRESSION_MODES,
+    ExperimentSpec,
+    sweep,
+)
+from repro.api.session import Session, get_default_session, reset_default_session
+
+__all__ = [
+    "ARCH_MODELS",
+    "COMPRESSION_MODES",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Session",
+    "SweepResult",
+    "get_default_session",
+    "jsonify",
+    "reset_default_session",
+    "sweep",
+]

@@ -1,0 +1,358 @@
+"""The :class:`Session` — the single front-end for running anything here.
+
+A session owns a :class:`~repro.engine.service.RenderService` (shared
+renderers and prepared frames), a scene-context cache (calibrated models,
+ground truths and paper-scale workloads), and a seeded RNG, so repeated
+runs share prepared state.  Everything the repository can do is reachable
+from it:
+
+* ``session.render(model, camera)`` — one render through the shared engine;
+* ``session.context(scene)`` — the cached evaluation context of a scene;
+* ``session.run(spec)`` — one declarative experiment point
+  (:class:`~repro.api.spec.ExperimentSpec`) evaluated end to end, returning
+  an :class:`~repro.api.result.ExperimentResult`;
+* ``session.run(name)`` — a registered paper artifact (``fig12``,
+  ``tab2``, ...);
+* ``session.sweep(base, voxel_size=[...])`` — a parameter-grid sensitivity
+  study returning a :class:`~repro.api.result.SweepResult`.
+
+A process-wide default session is available via
+:func:`get_default_session`; the analysis harness and the CLI runner go
+through it so independent experiments share scene contexts and renderers
+within one process.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.context import SceneContext, build_scene_context
+from repro.analysis.report import format_table
+from repro.api.result import ExperimentResult, SweepResult
+from repro.api.spec import ACCELERATOR_ARCHS, ExperimentSpec, sweep
+from repro.arch.area import AreaModel
+from repro.arch.gpu import OrinNXModel
+from repro.arch.gscore import GSCoreModel
+from repro.arch.accelerator import StreamingGSAccelerator
+from repro.core.config import StreamingConfig
+from repro.engine.service import (
+    DEFAULT_RENDERER_CACHE_SIZE,
+    RenderRequest,
+    RenderResponse,
+    RenderService,
+)
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.scenes.registry import SCENE_REGISTRY
+
+#: Scene contexts kept alive per session (each owns a calibrated model,
+#: ground-truth image and workload).
+DEFAULT_CONTEXT_CACHE_SIZE = 64
+
+#: Metric presentation order of a point result's formatted report.
+_POINT_METRIC_ORDER = (
+    "baseline_psnr",
+    "streaming_psnr",
+    "psnr_drop",
+    "frame_time_ms",
+    "fps",
+    "energy_per_frame_mj",
+    "dram_mb_per_frame",
+    "speedup",
+    "energy_savings",
+    "filtering_reduction",
+    "area_mm2",
+)
+
+
+class Session:
+    """Shared-state front-end for rendering and experiments.
+
+    Parameters
+    ----------
+    service:
+        Render service to use; a private one is created when omitted.
+    seed:
+        Seed of the session's RNG (``session.rng``), the one source of
+        randomness experiment code running under the session should use.
+    max_renderers:
+        Renderer-cache size of a privately created service.
+    max_contexts:
+        Scene contexts kept alive (LRU).
+    """
+
+    def __init__(
+        self,
+        service: Optional[RenderService] = None,
+        seed: int = 0,
+        max_renderers: int = DEFAULT_RENDERER_CACHE_SIZE,
+        max_contexts: int = DEFAULT_CONTEXT_CACHE_SIZE,
+    ) -> None:
+        if max_contexts <= 0:
+            raise ValueError("max_contexts must be positive")
+        self.service = service if service is not None else RenderService(max_renderers=max_renderers)
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.max_contexts = max_contexts
+        self._contexts: "OrderedDict[Tuple, SceneContext]" = OrderedDict()
+        self.points_run = 0
+        self.context_hits = 0
+        self.context_misses = 0
+
+    # ------------------------------------------------------------------
+    # Rendering (delegates to the shared engine service).
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        model: GaussianModel,
+        camera: Camera,
+        config: Optional[StreamingConfig] = None,
+        mode: str = "streaming",
+        tag: str = "",
+    ) -> RenderResponse:
+        """Render one (model, camera) pair through the session's engine."""
+        return self.service.render(
+            RenderRequest(model=model, camera=camera, config=config, mode=mode, tag=tag)
+        )
+
+    def render_batch(self, requests: Iterable[RenderRequest]) -> List[RenderResponse]:
+        """Serve many render requests, sharing renderers and frames."""
+        return self.service.render_batch(requests)
+
+    def render_pair(
+        self,
+        model: GaussianModel,
+        camera: Camera,
+        config: Optional[StreamingConfig] = None,
+    ):
+        """Tile-centric reference and streaming render of the same scene."""
+        return self.service.render_pair(model, camera, config=config)
+
+    def streaming_renderer(
+        self, model: GaussianModel, config: Optional[StreamingConfig] = None
+    ):
+        """The shared streaming renderer of a (model, config) pair."""
+        return self.service.streaming_renderer(model, config)
+
+    def tile_rasterizer(self, config: Optional[StreamingConfig] = None):
+        """A tile-centric rasterizer matching the streaming configuration."""
+        return self.service.tile_rasterizer(config)
+
+    def isolated(self, max_renderers: int = 1) -> "Session":
+        """A fresh session sharing nothing with this one.
+
+        Used for throwaway renders (e.g. fine-tuning probes of mutating
+        parameter snapshots) that must not evict this session's shared
+        renderers.
+        """
+        return Session(seed=self.seed, max_renderers=max_renderers)
+
+    # ------------------------------------------------------------------
+    # Scene contexts.
+    # ------------------------------------------------------------------
+    def context(
+        self,
+        scene: str,
+        algorithm: str = "3dgs",
+        voxel_size: Optional[float] = None,
+        resolution_scale: float = 1.0,
+        config: Optional[Union[StreamingConfig, Mapping[str, Any]]] = None,
+    ) -> SceneContext:
+        """The cached evaluation context of one (scene, algorithm) pair.
+
+        Parameters
+        ----------
+        scene:
+            Registered scene name.
+        algorithm:
+            Base algorithm (``3dgs``, ``mini_splatting``, ``light_gaussian``).
+        voxel_size:
+            Streaming voxel size; ``None`` (or non-positive) uses the
+            paper's default for the scene's category.
+        resolution_scale:
+            Scale factor on the simulated evaluation resolution.
+        config:
+            Full :class:`StreamingConfig` or a mapping of field overrides;
+            mutually exclusive with ``voxel_size``.
+        """
+        if scene not in SCENE_REGISTRY:
+            raise KeyError(f"unknown scene {scene!r}; available: {sorted(SCENE_REGISTRY)}")
+        if config is not None and voxel_size is not None:
+            raise ValueError("pass voxel_size or config, not both")
+        descriptor = SCENE_REGISTRY[scene]
+        if config is None:
+            effective = voxel_size if voxel_size and voxel_size > 0 else descriptor.default_voxel_size
+            resolved = StreamingConfig(voxel_size=float(effective))
+        elif isinstance(config, StreamingConfig):
+            resolved = config
+        else:
+            resolved = StreamingConfig(voxel_size=descriptor.default_voxel_size).with_options(
+                **dict(config)
+            )
+        key = (scene, algorithm, resolved, float(resolution_scale))
+        context = self._contexts.get(key)
+        if context is not None:
+            self._contexts.move_to_end(key)
+            self.context_hits += 1
+            return context
+        self.context_misses += 1
+        context = build_scene_context(
+            scene,
+            algorithm=algorithm,
+            config=resolved,
+            resolution_scale=float(resolution_scale),
+            service=self.service,
+        )
+        self._contexts[key] = context
+        while len(self._contexts) > self.max_contexts:
+            self._contexts.popitem(last=False)
+        return context
+
+    def spec_context(self, spec: ExperimentSpec) -> SceneContext:
+        """The evaluation context behind one experiment spec."""
+        return self.context(
+            spec.scene,
+            algorithm=spec.algorithm,
+            resolution_scale=spec.resolution_scale,
+            config=spec.streaming_config(),
+        )
+
+    # ------------------------------------------------------------------
+    # Experiments.
+    # ------------------------------------------------------------------
+    def run(
+        self, spec: Union[ExperimentSpec, str], **overrides: Any
+    ) -> ExperimentResult:
+        """Run one experiment.
+
+        ``spec`` is either an :class:`ExperimentSpec` (a single evaluation
+        point; keyword overrides are applied with
+        :meth:`ExperimentSpec.with_options`) or the name of a registered
+        paper artifact (``fig2`` ... ``engine``; keywords are passed to the
+        experiment builder).
+        """
+        if isinstance(spec, str):
+            from repro.api.experiments import get_experiment
+
+            return get_experiment(spec).build(self, **overrides)
+        if overrides:
+            spec = spec.with_options(**overrides)
+        return self.run_point(spec)
+
+    def run_point(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Evaluate one spec end to end: render, workload, hardware model."""
+        context = self.spec_context(spec)
+        workload = context.workload
+        gpu_report = OrinNXModel().evaluate(workload)
+        if spec.arch == "gpu":
+            report = gpu_report
+        elif spec.arch == "gscore":
+            report = GSCoreModel().evaluate(workload)
+        else:
+            report = StreamingGSAccelerator(spec.accelerator_config()).evaluate(workload)
+
+        metrics = {
+            "baseline_psnr": context.baseline_psnr,
+            "streaming_psnr": context.streaming_psnr,
+            "psnr_drop": context.baseline_psnr - context.streaming_psnr,
+            "frame_time_ms": report.frame_time_s * 1e3,
+            "fps": report.fps,
+            "energy_per_frame_mj": report.energy_per_frame_j * 1e3,
+            "dram_mb_per_frame": report.dram_bytes / 1e6,
+            "speedup": report.speedup_over(gpu_report),
+            "energy_savings": report.energy_saving_over(gpu_report),
+            "filtering_reduction": workload.filtering_reduction,
+        }
+        if spec.arch in ACCELERATOR_ARCHS:
+            accel = spec.accelerator_config()
+            metrics["area_mm2"] = AreaModel().breakdown(
+                num_vsu=accel.num_vsu,
+                num_hfu=accel.num_hfu,
+                cfus_per_hfu=accel.cfus_per_hfu,
+                ffus_per_hfu=accel.ffus_per_hfu,
+                num_sort_units=accel.num_sort_units,
+                num_render_units=accel.num_render_units,
+            ).total_mm2
+
+        config = context.streaming_config
+        title = f"experiment point — {spec.label}"
+        rows = [[name, metrics[name]] for name in _POINT_METRIC_ORDER if name in metrics]
+        text = format_table(["metric", "value"], rows, title=title)
+        self.points_run += 1
+        return ExperimentResult(
+            name="point",
+            title=title,
+            text=text,
+            metrics=metrics,
+            payload={
+                "spec": spec.to_dict(),
+                "scene_category": context.descriptor.category,
+                "hardware": report.name,
+                "config": {
+                    "voxel_size": config.voxel_size,
+                    "tile_size": config.tile_size,
+                    "blend_kernel": config.blend_kernel,
+                    "use_vq": config.use_vq,
+                    "use_coarse_filter": config.use_coarse_filter,
+                },
+                "workload": {
+                    "num_gaussians": workload.num_gaussians,
+                    "visible_gaussians": workload.visible_gaussians,
+                    "num_pairs": workload.num_pairs,
+                    "gaussians_streamed": workload.gaussians_streamed,
+                },
+            },
+            meta={"label": spec.label, "tag": spec.tag},
+        )
+
+    def run_sweep(
+        self,
+        specs: Sequence[ExperimentSpec],
+        swept: Optional[Sequence[str]] = None,
+    ) -> SweepResult:
+        """Run a list of point specs through the shared session state."""
+        results = [self.run_point(spec) for spec in specs]
+        return SweepResult(results=results, swept=list(swept or []))
+
+    def sweep(self, base: Optional[ExperimentSpec] = None, **grid: Any) -> SweepResult:
+        """Expand a parameter grid (:func:`repro.api.spec.sweep`) and run it."""
+        return self.run_sweep(sweep(base, **grid), swept=list(grid))
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop cached contexts and renderers (counters are kept)."""
+        self._contexts.clear()
+        self.service.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(contexts={len(self._contexts)}, "
+            f"renderers={len(self.service._renderers)}, seed={self.seed})"
+        )
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def get_default_session() -> Session:
+    """The process-wide shared :class:`Session`.
+
+    Wraps the process-wide engine service, so code rendering through
+    :func:`repro.engine.service.get_default_service` and code running
+    experiments through the default session share renderers.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        from repro.engine.service import get_default_service
+
+        _DEFAULT_SESSION = Session(service=get_default_service())
+    return _DEFAULT_SESSION
+
+
+def reset_default_session() -> None:
+    """Replace the process-wide session (used by tests)."""
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION = None

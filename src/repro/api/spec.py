@@ -1,0 +1,246 @@
+"""Declarative experiment specifications and grid sweeps.
+
+An :class:`ExperimentSpec` names one point of the evaluation space:
+
+    scene x algorithm variant x compression x streaming-config overrides
+          x architecture model (with unit-count overrides)
+
+:func:`sweep` expands parameter grids into spec lists; each grid key is
+routed automatically to the right layer (a spec axis, a
+:class:`~repro.core.config.StreamingConfig` field, or an
+:class:`~repro.arch.accelerator.AcceleratorConfig` unit count), which is how
+Fig. 12 / Fig. 13-style sensitivity studies are expressed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.arch.accelerator import AcceleratorConfig
+from repro.core.config import StreamingConfig
+from repro.scenes.registry import SCENE_REGISTRY, SceneDescriptor
+
+#: Spec-level axes a sweep can vary directly.
+SPEC_AXES = ("scene", "algorithm", "compression", "arch", "resolution_scale", "tag")
+
+#: Compression of the DRAM second half: vector quantization on or off.
+COMPRESSION_MODES = ("vq", "none")
+
+#: Hardware models an experiment point can be evaluated on.
+ARCH_MODELS = ("gpu", "gscore", "streaminggs", "wo_cgf", "wo_vq_cgf")
+
+#: Architectures built from :class:`AcceleratorConfig` (accept unit-count
+#: overrides and report silicon area).
+ACCELERATOR_ARCHS = ("streaminggs", "wo_cgf", "wo_vq_cgf")
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(StreamingConfig))
+
+#: AcceleratorConfig fields sweepable through ``arch_options``; the ablation
+#: flags are excluded — select them via ``arch=`` / ``compression=`` instead.
+_ARCH_OPTION_FIELDS = frozenset(
+    f.name for f in dataclass_fields(AcceleratorConfig)
+) - {"use_vq", "use_coarse_filter"}
+
+Overrides = Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]]
+
+
+def _freeze(overrides: Overrides, allowed: frozenset, what: str) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize an override mapping to a sorted, hashable tuple of pairs."""
+    items = dict(overrides)
+    unknown = sorted(set(items) - allowed)
+    if unknown:
+        raise ValueError(f"unknown {what} override(s) {unknown}; allowed: {sorted(allowed)}")
+    return tuple(sorted(items.items()))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative point of the evaluation space.
+
+    Attributes
+    ----------
+    scene:
+        Registered scene name (see :data:`repro.scenes.registry.SCENE_REGISTRY`).
+    algorithm:
+        Base algorithm variant (``3dgs``, ``mini_splatting``,
+        ``light_gaussian``).
+    compression:
+        ``"vq"`` streams the DRAM second half as codebook indices (the
+        paper's default), ``"none"`` disables vector quantization.
+    arch:
+        Hardware model evaluated on the resulting workload: ``gpu`` (Orin
+        NX), ``gscore``, or the streaming accelerator (``streaminggs``,
+        ``wo_cgf``, ``wo_vq_cgf`` ablations).
+    config:
+        :class:`StreamingConfig` field overrides (``voxel_size``,
+        ``blend_kernel``, ``tile_size``, ...).  ``use_vq`` is reserved —
+        select it through ``compression`` instead.
+    arch_options:
+        :class:`AcceleratorConfig` unit-count overrides (``cfus_per_hfu``,
+        ``ffus_per_hfu``, ...); only valid for accelerator architectures.
+    resolution_scale:
+        Scale factor on the simulated evaluation resolution.
+    tag:
+        Free-form label carried into the result's metadata.
+    """
+
+    scene: str = "train"
+    algorithm: str = "3dgs"
+    compression: str = "vq"
+    arch: str = "streaminggs"
+    config: Overrides = field(default_factory=tuple)
+    arch_options: Overrides = field(default_factory=tuple)
+    resolution_scale: float = 1.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config", _freeze(self.config, _CONFIG_FIELDS, "StreamingConfig"))
+        object.__setattr__(
+            self, "arch_options", _freeze(self.arch_options, _ARCH_OPTION_FIELDS, "AcceleratorConfig")
+        )
+        if self.scene not in SCENE_REGISTRY:
+            raise ValueError(f"unknown scene {self.scene!r}; available: {sorted(SCENE_REGISTRY)}")
+        from repro.variants.base import list_algorithms
+
+        if self.algorithm not in list_algorithms():
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; available: {list_algorithms()}"
+            )
+        if self.compression not in COMPRESSION_MODES:
+            raise ValueError(
+                f"unknown compression {self.compression!r}; available: {list(COMPRESSION_MODES)}"
+            )
+        if self.arch not in ARCH_MODELS:
+            raise ValueError(f"unknown arch {self.arch!r}; available: {list(ARCH_MODELS)}")
+        if dict(self.config).get("use_vq") is not None:
+            raise ValueError("select VQ through compression=..., not a use_vq config override")
+        if self.arch_options and self.arch not in ACCELERATOR_ARCHS:
+            raise ValueError(
+                f"arch_options only apply to {list(ACCELERATOR_ARCHS)}, not arch={self.arch!r}"
+            )
+        if self.resolution_scale <= 0:
+            raise ValueError(f"resolution_scale must be positive, got {self.resolution_scale}")
+
+    # ------------------------------------------------------------------
+    @property
+    def config_overrides(self) -> Dict[str, Any]:
+        """StreamingConfig overrides as a plain dictionary."""
+        return dict(self.config)
+
+    @property
+    def arch_overrides(self) -> Dict[str, Any]:
+        """AcceleratorConfig overrides as a plain dictionary."""
+        return dict(self.arch_options)
+
+    @property
+    def descriptor(self) -> SceneDescriptor:
+        return SCENE_REGISTRY[self.scene]
+
+    @property
+    def label(self) -> str:
+        """Short human-readable point label (tag wins when set)."""
+        return self.tag or f"{self.scene}/{self.algorithm}/{self.arch}"
+
+    # ------------------------------------------------------------------
+    def streaming_config(self) -> StreamingConfig:
+        """The resolved :class:`StreamingConfig` of this point.
+
+        Starts from the scene's paper-default voxel size, applies the
+        compression axis, then the explicit config overrides.
+        """
+        base = StreamingConfig(
+            voxel_size=self.descriptor.default_voxel_size,
+            use_vq=self.compression == "vq",
+        )
+        overrides = self.config_overrides
+        return base.with_options(**overrides) if overrides else base
+
+    def accelerator_config(self) -> AcceleratorConfig:
+        """The resolved :class:`AcceleratorConfig` (accelerator archs only)."""
+        if self.arch not in ACCELERATOR_ARCHS:
+            raise ValueError(f"arch {self.arch!r} is not an accelerator configuration")
+        base = AcceleratorConfig.variant(self.arch)
+        overrides = self.arch_overrides
+        return replace(base, **overrides) if overrides else base
+
+    def with_options(self, **kwargs: Any) -> "ExperimentSpec":
+        """A copy with the given spec fields replaced."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native representation (used in result metadata)."""
+        return {
+            "scene": self.scene,
+            "algorithm": self.algorithm,
+            "compression": self.compression,
+            "arch": self.arch,
+            "config": self.config_overrides,
+            "arch_options": self.arch_overrides,
+            "resolution_scale": self.resolution_scale,
+            "tag": self.tag,
+        }
+
+
+def _values_list(key: str, values: Any) -> List[Any]:
+    """Normalize one grid axis to a non-empty list of values."""
+    if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+        values = [values]
+    values = list(values)
+    if not values:
+        raise ValueError(f"sweep axis {key!r} has no values")
+    return values
+
+
+def sweep(base: Optional[ExperimentSpec] = None, **grid: Any) -> List[ExperimentSpec]:
+    """Expand a parameter grid into a list of :class:`ExperimentSpec`.
+
+    Every keyword is one swept axis; its values may be a sequence or a
+    scalar.  Keys are routed automatically:
+
+    * spec axes (``scene``, ``algorithm``, ``compression``, ``arch``,
+      ``resolution_scale``, ``tag``) replace the base spec's field;
+    * :class:`StreamingConfig` fields (``voxel_size``, ``blend_kernel``,
+      ``tile_size``, ...) become config overrides;
+    * :class:`AcceleratorConfig` unit counts (``cfus_per_hfu``,
+      ``ffus_per_hfu``, ...) become arch options.
+
+    The expansion is the cartesian product in keyword order (last axis
+    fastest), matching nested for-loops.  Each produced spec gets an
+    auto-generated ``tag`` naming its swept values (unless ``tag`` itself is
+    swept).
+
+    >>> specs = sweep(ExperimentSpec(scene="train"), voxel_size=(1.0, 2.0))
+    >>> [s.config_overrides["voxel_size"] for s in specs]
+    [1.0, 2.0]
+    """
+    base = base if base is not None else ExperimentSpec()
+    axes: List[Tuple[str, List[Any]]] = []
+    for key, values in grid.items():
+        if key not in SPEC_AXES and key not in _CONFIG_FIELDS and key not in _ARCH_OPTION_FIELDS:
+            raise ValueError(
+                f"unknown sweep axis {key!r}; spec axes: {list(SPEC_AXES)}, "
+                f"StreamingConfig fields: {sorted(_CONFIG_FIELDS)}, "
+                f"AcceleratorConfig fields: {sorted(_ARCH_OPTION_FIELDS)}"
+            )
+        axes.append((key, _values_list(key, values)))
+
+    specs: List[ExperimentSpec] = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        updates: Dict[str, Any] = {}
+        config = dict(base.config)
+        arch_options = dict(base.arch_options)
+        for (key, _), value in zip(axes, combo):
+            if key in SPEC_AXES:
+                updates[key] = value
+            elif key in _CONFIG_FIELDS:
+                config[key] = value
+            else:
+                arch_options[key] = value
+        if "tag" not in updates:
+            point = ", ".join(f"{key}={value}" for (key, _), value in zip(axes, combo))
+            if point:
+                updates["tag"] = f"{base.tag}: {point}" if base.tag else point
+        specs.append(replace(base, config=config, arch_options=arch_options, **updates))
+    return specs

@@ -62,17 +62,21 @@ class StreamingConfig:
 
     def __post_init__(self) -> None:
         if self.voxel_size <= 0:
-            raise ValueError("voxel_size must be positive")
+            raise ValueError(f"voxel_size must be positive, got {self.voxel_size!r}")
         if self.tile_size <= 0:
-            raise ValueError("tile_size must be positive")
+            raise ValueError(f"tile_size must be positive, got {self.tile_size!r}")
         if self.ray_stride <= 0:
-            raise ValueError("ray_stride must be positive")
+            raise ValueError(f"ray_stride must be positive, got {self.ray_stride!r}")
         if not 0 < self.ray_step_fraction <= 1.0:
-            raise ValueError("ray_step_fraction must be in (0, 1]")
+            raise ValueError(
+                f"ray_step_fraction must be in (0, 1], got {self.ray_step_fraction!r}"
+            )
         if self.sh_degree < 0 or self.sh_degree > 3:
-            raise ValueError("sh_degree must be in [0, 3]")
+            raise ValueError(f"sh_degree must be in [0, 3], got {self.sh_degree!r}")
         if self.max_voxels_per_ray <= 0:
-            raise ValueError("max_voxels_per_ray must be positive")
+            raise ValueError(
+                f"max_voxels_per_ray must be positive, got {self.max_voxels_per_ray!r}"
+            )
         from repro.engine.kernels import KERNELS
 
         if self.blend_kernel not in KERNELS:
@@ -81,7 +85,9 @@ class StreamingConfig:
                 f"available: {sorted(KERNELS)}"
             )
         if self.frame_cache_size < 0:
-            raise ValueError("frame_cache_size must be non-negative")
+            raise ValueError(
+                f"frame_cache_size must be non-negative, got {self.frame_cache_size!r}"
+            )
 
     def with_options(self, **kwargs) -> "StreamingConfig":
         """A copy with the given fields replaced."""

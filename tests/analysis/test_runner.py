@@ -1,8 +1,17 @@
 """Tests for the experiment registry / CLI runner."""
 
+import json
+
 import pytest
 
-from repro.analysis.runner import EXPERIMENTS, list_experiments, main, run_experiment
+from repro.analysis.runner import (
+    EXPERIMENTS,
+    list_experiments,
+    main,
+    run_experiment,
+    run_experiment_result,
+)
+from repro.api.result import ExperimentResult
 
 
 def test_registry_covers_every_paper_artifact():
@@ -34,6 +43,14 @@ def test_run_tab1_formats():
     assert "total" in text
 
 
+def test_run_experiment_result_is_typed():
+    result = run_experiment_result("tab1")
+    assert isinstance(result, ExperimentResult)
+    assert result.name == "tab1"
+    restored = ExperimentResult.from_json(result.to_json())
+    assert restored.to_dict() == result.to_dict()
+
+
 def test_cli_list(capsys):
     assert main(["--list"]) == 0
     out = capsys.readouterr().out
@@ -48,3 +65,33 @@ def test_cli_no_args_lists(capsys):
 def test_cli_runs_named_experiment(capsys):
     assert main(["tab1"]) == 0
     assert "Table I" in capsys.readouterr().out
+
+
+def test_cli_unknown_experiment_is_clean_error(capsys):
+    assert main(["fig99"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown experiment" in captured.err
+    assert "fig99" in captured.err
+    assert captured.out == ""
+
+
+def test_cli_unknown_mixed_with_known_runs_nothing(capsys):
+    assert main(["tab1", "fig99"]) == 2
+    captured = capsys.readouterr()
+    assert "fig99" in captured.err
+    assert "Table I" not in captured.out
+
+
+def test_cli_json_output(capsys):
+    assert main(["tab1", "--json"]) == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert data["name"] == "tab1"
+    assert data["metrics"]["total_mm2"] == pytest.approx(5.37, abs=0.01)
+    assert "Table I" in data["text"]
+
+
+def test_cli_json_multiple_experiments_is_json_lines(capsys):
+    assert main(["tab1", "engine", "--json"]) == 0
+    lines = [line for line in capsys.readouterr().out.splitlines() if line]
+    assert [json.loads(line)["name"] for line in lines] == ["tab1", "engine"]

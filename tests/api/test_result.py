@@ -1,0 +1,116 @@
+"""Tests for ExperimentResult / SweepResult serialization and formatting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.result import ExperimentResult, SweepResult, jsonify
+
+
+class TestJsonify:
+    def test_numpy_scalars_and_arrays(self):
+        data = jsonify(
+            {
+                "f": np.float64(1.5),
+                "i": np.int32(3),
+                "b": np.bool_(True),
+                "a": np.arange(3),
+            }
+        )
+        assert data == {"f": 1.5, "i": 3, "b": True, "a": [0, 1, 2]}
+        assert json.loads(json.dumps(data)) == data
+
+    def test_tuples_and_int_keys(self):
+        data = jsonify({1: (2, 3), "nested": {4: {"x": (5,)}}})
+        assert data == {"1": [2, 3], "nested": {"4": {"x": [5]}}}
+        assert json.loads(json.dumps(data)) == data
+
+    def test_unserializable_type(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            jsonify({"bad": object()})
+
+
+def make_result(name="demo", tag="t0"):
+    return ExperimentResult(
+        name=name,
+        title="Demo experiment",
+        text="Demo experiment\nvalue 1.50",
+        metrics={"speedup": np.float64(1.5), "fps": 60},
+        payload={"grid": {1: {2: 3.0}}, "series": (0.1, 0.2)},
+        meta={"label": tag, "tag": tag},
+    )
+
+
+class TestExperimentResult:
+    def test_format_returns_text(self):
+        result = make_result()
+        assert result.format() == result.text
+
+    def test_metrics_normalized_to_float(self):
+        result = make_result()
+        assert result.metrics == {"speedup": 1.5, "fps": 60.0}
+        assert isinstance(result.metrics["fps"], float)
+
+    def test_metric_lookup(self):
+        result = make_result()
+        assert result.metric("speedup") == 1.5
+        with pytest.raises(KeyError, match="unknown metric"):
+            result.metric("latency")
+
+    def test_payload_is_json_native(self):
+        result = make_result()
+        assert result.payload == {"grid": {"1": {"2": 3.0}}, "series": [0.1, 0.2]}
+
+    def test_json_roundtrip_is_lossless(self):
+        result = make_result()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.to_dict() == result.to_dict()
+        assert restored.format() == result.format()
+        assert restored.metrics == result.metrics
+
+    def test_roundtrip_survives_infinity(self):
+        result = ExperimentResult(
+            name="x", title="x", text="x", metrics={"ratio": float("inf")}
+        )
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.metrics["ratio"] == float("inf")
+
+
+class TestSweepResult:
+    def test_collection_interface(self):
+        sweep = SweepResult(results=[make_result(tag="a"), make_result(tag="b")])
+        assert len(sweep) == 2
+        assert [r.meta["label"] for r in sweep] == ["a", "b"]
+        assert sweep[1].meta["label"] == "b"
+
+    def test_metric_column(self):
+        sweep = SweepResult(results=[make_result(), make_result()])
+        assert sweep.metric("speedup") == [1.5, 1.5]
+
+    def test_table_and_format(self):
+        sweep = SweepResult(
+            results=[make_result(tag="a"), make_result(tag="b")], swept=["voxel_size"]
+        )
+        table = sweep.table(["speedup"])
+        assert "point" in table and "speedup" in table
+        assert "a" in table and "b" in table
+        assert "voxel_size" in sweep.format()
+
+    def test_table_rejects_metric_missing_everywhere(self):
+        sweep = SweepResult(results=[make_result(), make_result()])
+        with pytest.raises(KeyError, match="unknown metric"):
+            sweep.table(["frame_time"])  # typo for a real metric name
+
+    def test_table_renders_placeholder_for_partially_missing_metric(self):
+        partial = make_result(tag="gpu")
+        partial.metrics.pop("speedup")
+        sweep = SweepResult(results=[make_result(tag="accel"), partial])
+        table = sweep.table(["speedup"])
+        assert "-" in table
+
+    def test_json_roundtrip(self):
+        sweep = SweepResult(results=[make_result()], swept=["voxel_size"])
+        restored = SweepResult.from_json(sweep.to_json())
+        assert restored.to_dict() == sweep.to_dict()
+        assert restored.swept == ["voxel_size"]

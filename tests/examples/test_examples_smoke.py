@@ -1,0 +1,35 @@
+"""Smoke test: the quickstart example runs end to end on a small scene.
+
+Mirrors the CI examples job; the other three examples share the same API
+surface and are exercised (more cheaply) through the ``tests/api`` suite.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_quickstart_runs_on_small_scene():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "examples" / "quickstart.py"),
+            "--scene",
+            "lego",
+            "--resolution-scale",
+            "0.5",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "PSNR vs ground truth" in completed.stdout
+    assert "experiment point — lego/3dgs/streaminggs" in completed.stdout

@@ -4,7 +4,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_public_exports_resolve():
@@ -29,3 +29,22 @@ def test_hardware_models_exported():
     assert repro.StreamingGSAccelerator().area_mm2() > 0
     assert repro.OrinNXModel().params.peak_flops > 0
     assert repro.GSCoreModel().config.num_render_units == 64
+
+
+def test_api_surface_exported():
+    assert repro.Session is not None
+    assert repro.ExperimentSpec().scene == "train"
+    specs = repro.sweep(repro.ExperimentSpec(scene="lego"), voxel_size=(0.4, 0.8))
+    assert len(specs) == 2
+    assert repro.ExperimentResult is repro.api.ExperimentResult
+    assert repro.get_default_session() is repro.get_default_session()
+
+
+def test_legacy_import_paths_still_work():
+    # Thin aliases kept for pre-API consumers.
+    from repro.analysis import clear_context_cache, get_scene_context, run_fig12
+    from repro.analysis.runner import EXPERIMENTS, run_experiment
+
+    assert callable(get_scene_context) and callable(clear_context_cache)
+    assert callable(run_fig12)
+    assert "fig12" in EXPERIMENTS and callable(run_experiment)
