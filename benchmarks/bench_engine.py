@@ -17,11 +17,11 @@ makes the script usable as a CI gate.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
 
+from repro.api.store import append_trajectory
 from repro.engine.bench import run_kernel_benchmark
 
 #: Acceptance bar: vectorized kernel speedup over the reference loop.
@@ -71,11 +71,9 @@ def main(argv=None) -> int:
 
     entry = result.as_dict()
     entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
-    trajectory = []
-    if args.output.exists():
-        trajectory = json.loads(args.output.read_text())
-    trajectory.append(entry)
-    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    # Atomic write-temp-then-rename append: concurrent or interrupted CI
+    # jobs cannot truncate the trajectory.
+    append_trajectory(args.output, entry)
     print(f"appended trajectory entry to {args.output}")
 
     if args.check:

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Sweep-executor benchmark: serial vs sharded-parallel evaluation.
+
+Expands a seeded voxel-size grid (every point needs its own scene context,
+so the shards are independent), times it three ways —
+
+* **serial** — one fresh :class:`~repro.api.session.Session`, ``jobs=1``;
+* **parallel** — a fresh :class:`~repro.api.executor.SweepExecutor` with
+  ``--jobs N`` process workers;
+* **warm** — the same grid against a cold then warm
+  :class:`~repro.api.store.ResultStore`, asserting the warm run hits the
+  store for every spec and performs **zero** renders
+
+— verifies the three produce bit-identical :class:`SweepResult` payloads,
+and appends the measurements to the ``BENCH_sweep.json`` trajectory next to
+``BENCH_engine.json`` (atomic write-temp-then-rename appends)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+    PYTHONPATH=src python benchmarks/bench_sweep.py --check --min-speedup 1.05
+
+``--check`` exits non-zero when results diverge, the store misbehaves, or
+(on multi-core hosts) the parallel run fails the speedup bar; on a
+single-CPU host the speedup gate is skipped — the hardware cannot overlap
+the shards — while every correctness assertion still applies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import ExperimentSpec, ResultStore, Session, SweepExecutor, append_trajectory, sweep
+
+#: Default acceptance bar: parallel speedup over serial (loose — CI runners
+#: are shared and noisy; the real curve lives in the trajectory).
+REQUIRED_SPEEDUP = 1.05
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scene", default="lego")
+    parser.add_argument("--resolution-scale", type=float, default=0.5)
+    parser.add_argument(
+        "--voxel-sizes",
+        default="0.4,0.6,0.8,1.0",
+        help="comma-separated voxel-size grid (one scene context per value)",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on result divergence, store misbehaviour, or (multi-core "
+        "hosts) speedup < --min-speedup",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=REQUIRED_SPEEDUP,
+        help=f"parallel-over-serial bar for --check (default {REQUIRED_SPEEDUP}x)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=TRAJECTORY_PATH,
+        help="trajectory file to append the result to",
+    )
+    args = parser.parse_args(argv)
+
+    voxel_sizes = [float(v) for v in args.voxel_sizes.split(",") if v.strip()]
+    base = ExperimentSpec(scene=args.scene, resolution_scale=args.resolution_scale)
+    specs = sweep(base, voxel_size=voxel_sizes)
+    print(
+        f"grid: {len(specs)} specs ({args.scene} scene, scale "
+        f"{args.resolution_scale}, voxel sizes {voxel_sizes})"
+    )
+
+    # Serial reference: one session, shared in-process state, no store.
+    start = time.perf_counter()
+    serial = Session().run_sweep(specs, swept=["voxel_size"], cache=False)
+    serial_s = time.perf_counter() - start
+    print(f"serial           : {serial_s:6.2f}s")
+
+    # Sharded parallel run: fresh process pool, nothing warm, no store.
+    executor = SweepExecutor(jobs=args.jobs, mode="process")
+    start = time.perf_counter()
+    parallel = executor.run(specs, swept=["voxel_size"])
+    parallel_s = time.perf_counter() - start
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    print(
+        f"parallel jobs={args.jobs}  : {parallel_s:6.2f}s "
+        f"({executor.report.shards} shards, mode={executor.report.mode}, "
+        f"speedup {speedup:.2f}x)"
+    )
+
+    parity_ok = parallel.to_dict() == serial.to_dict()
+    print(f"serial/parallel results identical: {parity_ok}")
+
+    # Result-store behaviour: cold run misses and populates, warm run hits
+    # every spec and renders nothing.
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-store-") as cache_dir:
+        store = ResultStore(cache_dir)
+        cold_executor = SweepExecutor(jobs=args.jobs, store=store)
+        cold = cold_executor.run(specs, swept=["voxel_size"])
+        cold_ok = (
+            cold_executor.report.cache_misses == len(specs)
+            and cold_executor.report.cache_hits == 0
+            and cold.to_dict() == serial.to_dict()
+        )
+        warm_session = Session(store=store)
+        warm = warm_session.run_sweep(specs, swept=["voxel_size"], jobs=args.jobs)
+        warm_renders = warm_session.service.requests_served
+        warm_ok = (
+            store.hits == len(specs)
+            and warm_renders == 0
+            and warm.to_dict() == serial.to_dict()
+        )
+    print(
+        f"store: cold populated {len(specs)} entries ({'ok' if cold_ok else 'FAIL'}), "
+        f"warm hit {store.hits}/{len(specs)} with {warm_renders} renders "
+        f"({'ok' if warm_ok else 'FAIL'})"
+    )
+
+    entry = {
+        "scene": args.scene,
+        "resolution_scale": args.resolution_scale,
+        "voxel_sizes": voxel_sizes,
+        "specs": len(specs),
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "parity_ok": parity_ok,
+        "cache_ok": cold_ok and warm_ok,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    append_trajectory(args.output, entry)
+    print(f"appended trajectory entry to {args.output}")
+
+    if args.check:
+        failed = False
+        if not parity_ok:
+            print("FAIL: parallel results differ from the serial reference", file=sys.stderr)
+            failed = True
+        if not (cold_ok and warm_ok):
+            print("FAIL: result-store cold/warm behaviour is wrong", file=sys.stderr)
+            failed = True
+        cpus = os.cpu_count() or 1
+        if cpus < 2:
+            print(
+                f"note: single-CPU host ({cpus} core) — speedup gate skipped "
+                f"(measured {speedup:.2f}x)"
+            )
+        elif speedup < args.min_speedup:
+            print(
+                f"FAIL: parallel speedup {speedup:.2f}x < {args.min_speedup}x",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"OK: parallel speedup {speedup:.2f}x >= {args.min_speedup}x")
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ benchmark harness::
     python -m repro.analysis.runner --list
     python -m repro.analysis.runner fig3 fig4
     python -m repro.analysis.runner fig12 --json
+    python -m repro.analysis.runner fig12 --jobs 4 --cache-dir results/
     python -m repro.analysis.runner all
 
 Experiments are defined in :mod:`repro.api.experiments`; every run goes
@@ -13,15 +14,26 @@ through the process-wide :class:`~repro.api.session.Session`, so a multi-
 experiment invocation shares scene contexts and renderers, and every
 experiment returns a typed :class:`~repro.api.result.ExperimentResult`
 (``--json`` emits its machine-readable form).
+
+Sweep-shaped experiments (``fig12``, ``fig13``, anything built on
+``Session.run_sweep``) honour ``--jobs N`` (sharded parallel evaluation)
+and the disk-backed result store: ``--cache-dir DIR`` (or the
+``REPRO_CACHE_DIR`` environment variable) persists every evaluated point,
+so a warm re-run renders nothing; ``--no-cache`` disables the store even
+when the environment configures one.  ``--options '{"voxel_sizes":
+[1.0, 2.0]}'`` forwards keyword arguments to each named experiment's
+builder (reduced smoke grids in CI).
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import json
+import os
 import sys
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.api.experiments import REGISTRY, get_experiment
 from repro.api.result import ExperimentResult
@@ -34,11 +46,11 @@ class Experiment:
 
     name: str
     description: str
-    runner: Callable[[], ExperimentResult]
+    runner: Callable[..., ExperimentResult]
 
 
-def _run_registered(name: str) -> ExperimentResult:
-    return get_experiment(name).build(get_default_session())
+def _run_registered(name: str, **kwargs: Any) -> ExperimentResult:
+    return get_experiment(name).build(get_default_session(), **kwargs)
 
 
 #: Name -> experiment view of the :mod:`repro.api.experiments` registry.
@@ -52,11 +64,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
 }
 
 
-def run_experiment_result(name: str) -> ExperimentResult:
+def run_experiment_result(name: str, **kwargs: Any) -> ExperimentResult:
     """Run one experiment by name and return its typed result."""
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[name].runner()
+    return EXPERIMENTS[name].runner(**kwargs)
 
 
 def run_experiment(name: str) -> str:
@@ -89,7 +101,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="emit one JSON object per experiment per line (JSON Lines, "
         "ExperimentResult.to_json) instead of text",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker count for sweep-shaped experiments (sharded parallel "
+        "evaluation; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help="directory of the disk-backed result store (defaults to "
+        "$REPRO_CACHE_DIR; unset = no caching)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result store even when --cache-dir / "
+        "$REPRO_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "--options",
+        default=None,
+        help="JSON object of keyword arguments forwarded to every named "
+        "experiment's builder, e.g. '{\"voxel_sizes\": [1.0, 2.0]}'",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    options: Dict[str, Any] = {}
+    if args.options:
+        try:
+            options = json.loads(args.options)
+            if not isinstance(options, dict):
+                raise ValueError("not a JSON object")
+        except (json.JSONDecodeError, ValueError) as error:
+            print(f"error: --options must be a JSON object ({error})", file=sys.stderr)
+            return 2
 
     if args.list or not args.experiments:
         for experiment in EXPERIMENTS.values():
@@ -107,13 +157,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    for name in names:
-        result = run_experiment_result(name)
-        if args.json:
-            print(result.to_json())
-        else:
-            print(result.format())
-            print()
+    store = None
+    if args.cache_dir and not args.no_cache:
+        from repro.api.store import ResultStore
+
+        store = ResultStore(args.cache_dir)
+    # The CLI flags apply only to this invocation: the process-wide session
+    # keeps whatever jobs/store another in-process caller configured.
+    session = get_default_session()
+    previous = (session.jobs, session.store)
+    session.jobs, session.store = args.jobs, store
+    try:
+        for name in names:
+            try:
+                result = run_experiment_result(name, **options)
+            except TypeError as error:
+                # Only signature mismatches become a clean CLI error; a
+                # TypeError raised inside experiment code keeps its traceback.
+                message = str(error)
+                rejected = (
+                    "unexpected keyword argument" in message
+                    or "accepts no experiment parameters" in message
+                )
+                if not options or not rejected:
+                    raise
+                print(
+                    f"error: experiment {name!r} rejected --options "
+                    f"{sorted(options)}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.json:
+                print(result.to_json())
+            else:
+                print(result.format())
+                print()
+    finally:
+        session.jobs, session.store = previous
+    if store is not None:
+        print(
+            f"[result-store] hits={store.hits} misses={store.misses} "
+            f"entries={len(store)} dir={store.root}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -67,14 +67,25 @@ def run_fig12(
     scene: str = "train",
     voxel_sizes: Sequence[float] = FIG12_VOXEL_SIZES,
     session: Optional[Session] = None,
+    resolution_scale: float = 1.0,
+    jobs: Optional[int] = None,
+    cache: Optional[object] = None,
 ) -> Fig12Result:
-    """Reproduce Fig. 12: energy savings and PSNR vs. voxel size."""
+    """Reproduce Fig. 12: energy savings and PSNR vs. voxel size.
+
+    The grid runs on the session's sharded
+    :class:`~repro.api.executor.SweepExecutor`; ``jobs``/``cache`` override
+    the session defaults (``None`` keeps them), ``resolution_scale``
+    shrinks the simulated evaluation resolution for smoke grids.
+    """
     session = session or get_default_session()
     specs = sweep(
-        ExperimentSpec(scene=scene, arch="streaminggs"),
+        ExperimentSpec(
+            scene=scene, arch="streaminggs", resolution_scale=resolution_scale
+        ),
         voxel_size=[float(v) for v in voxel_sizes],
     )
-    points = session.run_sweep(specs, swept=["voxel_size"])
+    points = session.run_sweep(specs, swept=["voxel_size"], jobs=jobs, cache=cache)
     return Fig12Result(
         voxel_sizes=list(voxel_sizes),
         energy_savings=points.metric("energy_savings"),
@@ -121,15 +132,27 @@ def run_fig13(
     cfus: Sequence[int] = FIG13_CFUS,
     ffus: Sequence[int] = FIG13_FFUS,
     session: Optional[Session] = None,
+    resolution_scale: float = 1.0,
+    jobs: Optional[int] = None,
+    cache: Optional[object] = None,
 ) -> Fig13Result:
-    """Reproduce Fig. 13: speedup as a function of CFU and FFU counts."""
+    """Reproduce Fig. 13: speedup as a function of CFU and FFU counts.
+
+    Runs on the session's sweep executor like :func:`run_fig12`; every
+    point shares one scene context (only accelerator options vary), so the
+    grid collapses into a single shard.
+    """
     session = session or get_default_session()
     specs = sweep(
-        ExperimentSpec(scene=scene, arch="streaminggs"),
+        ExperimentSpec(
+            scene=scene, arch="streaminggs", resolution_scale=resolution_scale
+        ),
         cfus_per_hfu=[int(c) for c in cfus],
         ffus_per_hfu=[int(f) for f in ffus],
     )
-    points = session.run_sweep(specs, swept=["cfus_per_hfu", "ffus_per_hfu"])
+    points = session.run_sweep(
+        specs, swept=["cfus_per_hfu", "ffus_per_hfu"], jobs=jobs, cache=cache
+    )
     result = Fig13Result(cfus=list(cfus), ffus=list(ffus), scene=scene)
     for i, num_cfu in enumerate(result.cfus):
         result.speedup[num_cfu] = {}

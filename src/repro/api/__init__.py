@@ -14,6 +14,12 @@ The public surface:
 * ``repro.api.experiments`` — the registry of the paper's regenerable
   artifacts (``fig2`` ... ``engine``), reachable via ``Session.run(name)``
   and the CLI runner.
+* :class:`~repro.api.executor.SweepExecutor` — sharded parallel sweep
+  evaluation (``session.sweep(..., jobs=4)``) with deterministic merge
+  order.
+* :class:`~repro.api.store.ResultStore` — disk-backed, content-addressed
+  result cache keyed by a canonical spec hash; warm sweeps re-render
+  nothing.
 
 Quickstart::
 
@@ -36,6 +42,8 @@ from repro.api.spec import (
     ExperimentSpec,
     sweep,
 )
+from repro.api.store import ResultStore, append_trajectory, atomic_write_json, spec_key
+from repro.api.executor import SweepExecutor
 from repro.api.session import Session, get_default_session, reset_default_session
 
 __all__ = [
@@ -43,10 +51,15 @@ __all__ = [
     "COMPRESSION_MODES",
     "ExperimentResult",
     "ExperimentSpec",
+    "ResultStore",
     "Session",
+    "SweepExecutor",
     "SweepResult",
+    "append_trajectory",
+    "atomic_write_json",
     "get_default_session",
     "jsonify",
     "reset_default_session",
+    "spec_key",
     "sweep",
 ]

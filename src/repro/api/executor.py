@@ -1,0 +1,271 @@
+"""Parallel, sharded execution of experiment sweeps.
+
+:class:`SweepExecutor` evaluates a list of
+:class:`~repro.api.spec.ExperimentSpec` points by
+
+1. resolving every point it can against an optional
+   :class:`~repro.api.store.ResultStore` (so warm sweeps re-render
+   nothing),
+2. grouping the remaining specs into *shards* by the scene context they
+   need (scene x algorithm x resolution scale x resolved streaming
+   config) — the expensive part of a point is building that context, and
+   every spec in a shard shares it through
+   :meth:`~repro.api.session.Session.run_many`,
+3. fanning the shards out over a process pool (``jobs`` workers; small
+   grids fall back to a thread pool, one-shard grids to the caller's own
+   session), and
+4. merging the per-shard outputs back into one
+   :class:`~repro.api.result.SweepResult` in the original spec order —
+   the result is bit-identical to a serial run regardless of worker
+   scheduling, because every evaluation is deterministic and results are
+   placed by input index, never by completion order.
+
+The executor is what :meth:`Session.run_sweep` runs on; callers normally
+reach it through ``session.sweep(..., jobs=4, cache="results/")``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.result import ExperimentResult, SweepResult
+from repro.api.spec import ExperimentSpec
+from repro.api.store import ResultStore, resolve_store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.session import Session
+
+#: Execution strategies (``auto`` picks per grid, see
+#: :meth:`SweepExecutor.choose_mode`).
+EXECUTOR_MODES = ("auto", "serial", "thread", "process")
+
+#: Below this many pending specs, ``auto`` prefers a thread pool — process
+#: startup and re-import cost more than the grid itself on small sweeps.
+PROCESS_MIN_SPECS = 6
+
+
+def context_group_key(spec: ExperimentSpec) -> Tuple:
+    """The shard key of a spec: everything that selects its scene context.
+
+    Specs with equal keys share one calibrated scene context (model
+    fitting, reference render, streaming render, workload derivation), so
+    they are evaluated back to back in one worker.
+    """
+    return (
+        spec.scene,
+        spec.algorithm,
+        float(spec.resolution_scale),
+        spec.streaming_config(),
+    )
+
+
+def group_by_context(
+    pairs: Iterable[Tuple[int, ExperimentSpec]]
+) -> "OrderedDict[Tuple, List[Tuple[int, ExperimentSpec]]]":
+    """Group (index, spec) pairs by :func:`context_group_key`, first-seen order.
+
+    The one grouping primitive behind sharding and
+    :meth:`Session.run_many`: specs in one group share a scene context and
+    are evaluated back to back.
+    """
+    groups: "OrderedDict[Tuple, List[Tuple[int, ExperimentSpec]]]" = OrderedDict()
+    for index, spec in pairs:
+        groups.setdefault(context_group_key(spec), []).append((index, spec))
+    return groups
+
+
+def _evaluate_shard(
+    specs: Sequence[ExperimentSpec], seed: int
+) -> List[Dict]:
+    """Worker entry point: evaluate one shard in a fresh session.
+
+    Runs in a pool worker (process or thread); builds a private
+    :class:`~repro.api.session.Session` so no state is shared with the
+    caller, and returns plain ``to_dict()`` payloads (cheap to pickle,
+    lossless to reconstruct).
+    """
+    from repro.api.session import Session
+
+    session = Session(seed=seed)
+    return [result.to_dict() for result in session.run_many(list(specs))]
+
+
+@dataclass
+class ExecutionReport:
+    """What one :meth:`SweepExecutor.run` actually did."""
+
+    mode: str = "serial"
+    jobs: int = 1
+    shards: int = 0
+    specs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    shard_sizes: List[int] = field(default_factory=list)
+
+
+class SweepExecutor:
+    """Sharded sweep runner with optional disk-backed result caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``1`` evaluates serially through the calling
+        session.
+    store:
+        Optional :class:`ResultStore` (or a directory path for one)
+        consulted before evaluation and updated after it.
+    mode:
+        ``auto`` (default), ``serial``, ``thread`` or ``process``.
+        ``auto`` picks serially for one shard or one job, threads for
+        small grids, processes otherwise; a pool that cannot be created
+        degrades to the next cheaper mode instead of failing.
+    seed:
+        Seed of the private worker sessions.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[Union[ResultStore, str, Path]] = None,
+        mode: str = "auto",
+        seed: int = 0,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if mode not in EXECUTOR_MODES:
+            raise ValueError(f"unknown mode {mode!r}; available: {list(EXECUTOR_MODES)}")
+        self.jobs = jobs
+        self.store = resolve_store(store)
+        self.mode = mode
+        self.seed = seed
+        self.report = ExecutionReport()
+
+    # ------------------------------------------------------------------
+    def shard(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> "OrderedDict[Tuple, List[Tuple[int, ExperimentSpec]]]":
+        """Group (index, spec) pairs by shared scene context, in first-seen order."""
+        return group_by_context(enumerate(specs))
+
+    def choose_mode(self, num_shards: int, num_specs: int) -> str:
+        """Resolve ``auto`` against the pending grid."""
+        if self.mode != "auto":
+            return self.mode
+        if self.jobs <= 1 or num_shards <= 1:
+            return "serial"
+        if num_specs < PROCESS_MIN_SPECS:
+            return "thread"
+        return "process"
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        swept: Optional[Sequence[str]] = None,
+        session: Optional["Session"] = None,
+    ) -> SweepResult:
+        """Evaluate every spec and return results in input order.
+
+        ``session`` is used for serial evaluation (so warm contexts are
+        reused) and supplies the worker seed; a private one is created
+        when omitted.
+        """
+        specs = list(specs)
+        results: List[Optional[ExperimentResult]] = [None] * len(specs)
+        self.report = ExecutionReport(jobs=self.jobs, specs=len(specs))
+
+        pending: List[Tuple[int, ExperimentSpec]] = []
+        for index, spec in enumerate(specs):
+            cached = self.store.get(spec) if self.store is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, spec))
+        self.report.cache_hits = len(specs) - len(pending)
+        self.report.cache_misses = len(pending)
+
+        if pending:
+            anchored = list(group_by_context(pending).values())
+            self.report.shards = len(anchored)
+            self.report.shard_sizes = [len(members) for members in anchored]
+            mode = self.choose_mode(len(anchored), len(pending))
+            self.report.mode = mode
+
+            if mode == "serial":
+                self._run_serial(anchored, results, session)
+            else:
+                self._run_pool(anchored, results, mode, session)
+
+            if self.store is not None:
+                for index, spec in pending:
+                    self.store.put(spec, results[index])
+
+        missing = [i for i, result in enumerate(results) if result is None]
+        if missing:  # pragma: no cover - defensive; pools propagate errors
+            raise RuntimeError(f"sweep left {len(missing)} specs unevaluated: {missing}")
+        return SweepResult(results=list(results), swept=list(swept or []))
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        shards: List[List[Tuple[int, ExperimentSpec]]],
+        results: List[Optional[ExperimentResult]],
+        session: Optional["Session"],
+    ) -> None:
+        if session is None:
+            from repro.api.session import Session
+
+            session = Session(seed=self.seed)
+        ordered = [pair for members in shards for pair in members]
+        evaluated = session.run_many([spec for _, spec in ordered])
+        for (index, _), result in zip(ordered, evaluated):
+            results[index] = result
+
+    def _run_pool(
+        self,
+        shards: List[List[Tuple[int, ExperimentSpec]]],
+        results: List[Optional[ExperimentResult]],
+        mode: str,
+        session: Optional["Session"],
+    ) -> None:
+        seed = session.seed if session is not None else self.seed
+        workers = min(self.jobs, len(shards))
+        if mode == "process":
+            # Process pools can fail lazily: construction succeeds but the
+            # workers die at submit/fork time (rlimits, sandboxes, missing
+            # /dev/shm).  Either way, degrade to threads and recompute —
+            # shard evaluation is deterministic, so a partial first pass is
+            # simply overwritten.
+            try:
+                with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                    self._collect(pool, shards, results, seed)
+                return
+            except (
+                concurrent.futures.process.BrokenProcessPool,
+                OSError,
+                ValueError,
+                NotImplementedError,
+            ):
+                self.report.mode = "thread"
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            self._collect(pool, shards, results, seed)
+
+    @staticmethod
+    def _collect(
+        pool: concurrent.futures.Executor,
+        shards: List[List[Tuple[int, ExperimentSpec]]],
+        results: List[Optional[ExperimentResult]],
+        seed: int,
+    ) -> None:
+        futures = {
+            pool.submit(_evaluate_shard, [spec for _, spec in members], seed): members
+            for members in shards
+        }
+        for future in concurrent.futures.as_completed(futures):
+            members = futures[future]
+            for (index, _), payload in zip(members, future.result()):
+                results[index] = ExperimentResult.from_dict(payload)

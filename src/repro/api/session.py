@@ -13,8 +13,13 @@ from it:
   an :class:`~repro.api.result.ExperimentResult`;
 * ``session.run(name)`` — a registered paper artifact (``fig12``,
   ``tab2``, ...);
+* ``session.run_many(specs)`` — a batch of points grouped by shared scene
+  context, so each context is built once and its renders are batched;
 * ``session.sweep(base, voxel_size=[...])`` — a parameter-grid sensitivity
-  study returning a :class:`~repro.api.result.SweepResult`.
+  study returning a :class:`~repro.api.result.SweepResult`; ``jobs=`` and
+  ``cache=`` route it through the sharded
+  :class:`~repro.api.executor.SweepExecutor` and the disk-backed
+  :class:`~repro.api.store.ResultStore`.
 
 A process-wide default session is available via
 :func:`get_default_session`; the analysis harness and the CLI runner go
@@ -25,7 +30,8 @@ within one process.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +39,7 @@ from repro.analysis.context import SceneContext, build_scene_context
 from repro.analysis.report import format_table
 from repro.api.result import ExperimentResult, SweepResult
 from repro.api.spec import ACCELERATOR_ARCHS, ExperimentSpec, sweep
+from repro.api.store import ResultStore, resolve_store
 from repro.arch.area import AreaModel
 from repro.arch.gpu import OrinNXModel
 from repro.arch.gscore import GSCoreModel
@@ -82,6 +89,12 @@ class Session:
         Renderer-cache size of a privately created service.
     max_contexts:
         Scene contexts kept alive (LRU).
+    jobs:
+        Default worker count of :meth:`run_sweep` / :meth:`sweep`
+        (``1`` = serial in-process).
+    store:
+        Default :class:`~repro.api.store.ResultStore` (or a directory path
+        for one) consulted by sweeps; ``None`` disables result caching.
     """
 
     def __init__(
@@ -90,13 +103,19 @@ class Session:
         seed: int = 0,
         max_renderers: int = DEFAULT_RENDERER_CACHE_SIZE,
         max_contexts: int = DEFAULT_CONTEXT_CACHE_SIZE,
+        jobs: int = 1,
+        store: Optional[Union["ResultStore", str, Path]] = None,
     ) -> None:
         if max_contexts <= 0:
             raise ValueError("max_contexts must be positive")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.service = service if service is not None else RenderService(max_renderers=max_renderers)
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.max_contexts = max_contexts
+        self.jobs = jobs
+        self.store = resolve_store(store)
         self._contexts: "OrderedDict[Tuple, SceneContext]" = OrderedDict()
         self.points_run = 0
         self.context_hits = 0
@@ -308,20 +327,77 @@ class Session:
             meta={"label": spec.label, "tag": spec.tag},
         )
 
+    def run_many(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+        """Evaluate a batch of points, grouped by shared scene context.
+
+        Specs needing the same context (same scene, algorithm, resolution
+        scale and resolved streaming config) are evaluated back to back, so
+        each context — whose construction batches its renders through
+        :meth:`~repro.engine.service.RenderService.render_batch` — is built
+        once even when the input interleaves contexts and the LRU cache is
+        small.  Results come back in input order.
+        """
+        from repro.api.executor import group_by_context
+
+        results: List[Optional[ExperimentResult]] = [None] * len(specs)
+        for members in group_by_context(enumerate(specs)).values():
+            for index, spec in members:
+                results[index] = self.run_point(spec)
+        return results  # type: ignore[return-value]
+
     def run_sweep(
         self,
         specs: Sequence[ExperimentSpec],
         swept: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
+        cache: Optional[Union[ResultStore, str, Path, bool]] = None,
     ) -> SweepResult:
-        """Run a list of point specs through the shared session state."""
-        results = [self.run_point(spec) for spec in specs]
-        return SweepResult(results=results, swept=list(swept or []))
+        """Run a list of point specs on the sharded sweep executor.
 
-    def sweep(self, base: Optional[ExperimentSpec] = None, **grid: Any) -> SweepResult:
+        Parameters
+        ----------
+        specs, swept:
+            The grid points and the names of the swept axes.
+        jobs:
+            Worker count; ``None`` uses the session default (``self.jobs``),
+            ``1`` evaluates serially through this session's shared state.
+        cache:
+            ``None`` uses the session default store, ``False`` disables
+            caching for this sweep, a path or :class:`ResultStore` selects
+            one explicitly.
+        """
+        from repro.api.executor import SweepExecutor
+
+        store = self.store if cache is None else resolve_store(cache)
+        executor = SweepExecutor(
+            jobs=self.jobs if jobs is None else jobs,
+            store=store,
+            seed=self.seed,
+        )
+        return executor.run(specs, swept=swept, session=self)
+
+    def sweep(
+        self,
+        base: Optional[ExperimentSpec] = None,
+        *,
+        jobs: Optional[int] = None,
+        cache: Optional[Union[ResultStore, str, Path, bool]] = None,
+        **grid: Any,
+    ) -> SweepResult:
         """Expand a parameter grid (:func:`repro.api.spec.sweep`) and run it."""
-        return self.run_sweep(sweep(base, **grid), swept=list(grid))
+        return self.run_sweep(sweep(base, **grid), swept=list(grid), jobs=jobs, cache=cache)
 
     # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot: points run, context cache, render service."""
+        return {
+            "points_run": self.points_run,
+            "context_hits": self.context_hits,
+            "context_misses": self.context_misses,
+            "contexts_alive": len(self._contexts),
+            "service": self.service.stats(),
+        }
+
     def clear(self) -> None:
         """Drop cached contexts and renderers (counters are kept)."""
         self._contexts.clear()

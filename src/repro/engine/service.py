@@ -97,7 +97,10 @@ class RenderService:
 
     # ------------------------------------------------------------------
     def streaming_renderer(
-        self, model: GaussianModel, config: Optional[StreamingConfig] = None
+        self,
+        model: GaussianModel,
+        config: Optional[StreamingConfig] = None,
+        fingerprint: Optional[str] = None,
     ) -> StreamingRenderer:
         """The shared streaming renderer of a (model, config) pair.
 
@@ -105,9 +108,11 @@ class RenderService:
         so models with equal parameters share one renderer while in-place
         parameter edits (e.g. a fine-tuning loop mutating the same object)
         miss the cache and get a renderer built from the current values.
+        ``fingerprint`` lets batch callers that already hashed the model
+        skip recomputing it (hashing covers every parameter array).
         """
         config = config or StreamingConfig()
-        key = (model.content_fingerprint(), config)
+        key = (fingerprint if fingerprint is not None else model.content_fingerprint(), config)
         renderer = self._renderers.get(key)
         if renderer is not None:
             self._renderers.move_to_end(key)
@@ -132,17 +137,24 @@ class RenderService:
         )
 
     # ------------------------------------------------------------------
-    def render(self, request: RenderRequest) -> RenderResponse:
-        """Serve one request."""
+    def render(
+        self, request: RenderRequest, _fingerprint: Optional[str] = None
+    ) -> RenderResponse:
+        """Serve one request.
+
+        ``_fingerprint`` is internal: :meth:`render_batch` passes the model
+        hash it already computed for grouping, so a batch hashes each model
+        once instead of once per request.
+        """
         config = request.config or StreamingConfig()
         if request.mode == "tile":
             output: Union[RenderOutput, StreamingRenderOutput] = self.tile_rasterizer(
                 config
             ).render(request.model, request.camera)
         else:
-            output = self.streaming_renderer(request.model, config).render(
-                request.camera
-            )
+            output = self.streaming_renderer(
+                request.model, config, fingerprint=_fingerprint
+            ).render(request.camera)
         self.requests_served += 1
         return RenderResponse(request=request, output=output)
 
@@ -156,16 +168,25 @@ class RenderService:
         indexed = list(enumerate(requests))
         responses: List[Optional[RenderResponse]] = [None] * len(indexed)
         streaming = [(i, r) for i, r in indexed if r.mode == "streaming"]
-        # Group streaming requests by shared renderer state.
-        groups: "OrderedDict[Tuple[int, StreamingConfig], List[Tuple[int, RenderRequest]]]" = (
+        # Group streaming requests by shared renderer state; the key matches
+        # the renderer cache's (content fingerprint, config), so equal-content
+        # model objects land in one group.  Fingerprints hash every parameter
+        # array, so compute them once per model object, not per request.
+        groups: "OrderedDict[Tuple[str, StreamingConfig], List[Tuple[int, RenderRequest]]]" = (
             OrderedDict()
         )
+        fingerprints: dict = {}
         for i, request in streaming:
-            key = (id(request.model), request.config or StreamingConfig())
-            groups.setdefault(key, []).append((i, request))
-        for group in groups.values():
+            fingerprint = fingerprints.get(id(request.model))
+            if fingerprint is None:
+                fingerprint = request.model.content_fingerprint()
+                fingerprints[id(request.model)] = fingerprint
+            groups.setdefault(
+                (fingerprint, request.config or StreamingConfig()), []
+            ).append((i, request))
+        for (fingerprint, _), group in groups.items():
             for i, request in group:
-                responses[i] = self.render(request)
+                responses[i] = self.render(request, _fingerprint=fingerprint)
         for i, request in indexed:
             if request.mode != "streaming":
                 responses[i] = self.render(request)
@@ -188,6 +209,15 @@ class RenderService:
             ]
         )
         return tile.output, streaming.output  # type: ignore[return-value]
+
+    def stats(self) -> dict:
+        """Counter snapshot (requests served, renderer cache behaviour)."""
+        return {
+            "requests_served": self.requests_served,
+            "renderer_hits": self.renderer_hits,
+            "renderer_misses": self.renderer_misses,
+            "renderers_alive": len(self._renderers),
+        }
 
     def clear(self) -> None:
         """Drop every cached renderer (counters are kept)."""

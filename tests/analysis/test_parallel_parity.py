@@ -1,0 +1,41 @@
+"""Golden parity: sensitivity figures via the parallel executor match serial.
+
+``run_fig12`` / ``run_fig13`` are pinned to the serial path: the same grid
+evaluated through a parallel session (``jobs=2``) must produce tables that
+are byte-identical, independent of worker scheduling.
+"""
+
+from repro.analysis.sensitivity import run_fig12, run_fig13
+from repro.api import ResultStore, Session
+
+#: Reduced grid + resolution keeps the parity runs cheap.
+SCALE = 0.5
+
+
+class TestFig12Parity:
+    def test_parallel_table_is_byte_identical(self):
+        kwargs = dict(scene="lego", voxel_sizes=(0.4, 0.8), resolution_scale=SCALE)
+        serial = run_fig12(session=Session(), **kwargs)
+        parallel = run_fig12(session=Session(jobs=2), **kwargs)
+        assert parallel.format() == serial.format()
+        assert parallel.energy_savings == serial.energy_savings
+        assert parallel.psnr == serial.psnr
+
+    def test_warm_store_reproduces_the_table(self, tmp_path):
+        kwargs = dict(scene="lego", voxel_sizes=(0.4, 0.8), resolution_scale=SCALE)
+        store = ResultStore(tmp_path / "cache")
+        cold = run_fig12(session=Session(store=store), **kwargs)
+        warm_session = Session(store=store)
+        warm = run_fig12(session=warm_session, **kwargs)
+        assert warm.format() == cold.format()
+        assert warm_session.service.requests_served == 0
+
+
+class TestFig13Parity:
+    def test_parallel_table_is_byte_identical(self):
+        kwargs = dict(scene="lego", cfus=(1, 2), ffus=(1, 2), resolution_scale=SCALE)
+        serial = run_fig13(session=Session(), **kwargs)
+        parallel = run_fig13(session=Session(jobs=2), **kwargs)
+        assert parallel.format() == serial.format()
+        assert parallel.speedup == serial.speedup
+        assert parallel.area_mm2 == serial.area_mm2

@@ -1,0 +1,203 @@
+"""Tests for the sharded sweep executor and batched ``Session.run_many``."""
+
+import pytest
+
+from repro.api import ExperimentSpec, ResultStore, Session, SweepExecutor, sweep
+from repro.api.executor import PROCESS_MIN_SPECS, context_group_key
+
+#: Reduced evaluation resolution keeps each scene context cheap.
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return sweep(
+        ExperimentSpec(scene="lego", resolution_scale=SCALE), voxel_size=(0.4, 0.8)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(specs):
+    return Session().run_sweep(specs, swept=["voxel_size"])
+
+
+class TestContextGrouping:
+    def test_group_key_tracks_context_inputs(self):
+        base = ExperimentSpec(scene="lego", resolution_scale=SCALE)
+        assert context_group_key(base) == context_group_key(
+            base.with_options(arch="gscore", tag="other")
+        )
+        assert context_group_key(base) != context_group_key(
+            base.with_options(config={"voxel_size": 9.0})
+        )
+        assert context_group_key(base) != context_group_key(
+            base.with_options(scene="train")
+        )
+
+    def test_shard_preserves_first_seen_order(self, specs):
+        executor = SweepExecutor()
+        interleaved = [specs[0], specs[1], specs[0], specs[1]]
+        shards = executor.shard(interleaved)
+        assert len(shards) == 2
+        assert [[i for i, _ in members] for members in shards.values()] == [[0, 2], [1, 3]]
+
+
+class TestRunMany:
+    def test_results_in_input_order_with_one_build_per_context(self):
+        session = Session()
+        base = ExperimentSpec(scene="lego", resolution_scale=SCALE)
+        coarse = base.with_options(config={"voxel_size": 0.8})
+        # Interleave two contexts x two archs: four points, two contexts.
+        batch = [
+            base,
+            coarse,
+            base.with_options(arch="gscore"),
+            coarse.with_options(arch="gscore"),
+        ]
+        results = session.run_many(batch)
+        assert [r.payload["spec"]["arch"] for r in results] == [
+            "streaminggs",
+            "streaminggs",
+            "gscore",
+            "gscore",
+        ]
+        assert [r.payload["spec"]["config"].get("voxel_size") for r in results] == [
+            None,
+            0.8,
+            None,
+            0.8,
+        ]
+        assert session.context_misses == 2
+        assert session.points_run == 4
+
+
+class TestModeSelection:
+    def test_explicit_modes_win(self):
+        assert SweepExecutor(jobs=4, mode="serial").choose_mode(8, 80) == "serial"
+        assert SweepExecutor(jobs=4, mode="process").choose_mode(2, 2) == "process"
+
+    def test_auto_serial_for_one_job_or_one_shard(self):
+        assert SweepExecutor(jobs=1).choose_mode(8, 80) == "serial"
+        assert SweepExecutor(jobs=4).choose_mode(1, 80) == "serial"
+
+    def test_auto_threads_for_small_grids(self):
+        assert SweepExecutor(jobs=2).choose_mode(2, PROCESS_MIN_SPECS - 1) == "thread"
+
+    def test_auto_processes_for_large_grids(self):
+        assert SweepExecutor(jobs=2).choose_mode(4, PROCESS_MIN_SPECS) == "process"
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepExecutor(jobs=0)
+        with pytest.raises(ValueError, match="mode"):
+            SweepExecutor(mode="fleet")
+
+
+class TestParallelEquality:
+    def test_thread_pool_matches_serial(self, specs, serial):
+        executor = SweepExecutor(jobs=2, mode="thread")
+        result = executor.run(specs, swept=["voxel_size"])
+        assert result.to_dict() == serial.to_dict()
+        assert executor.report.mode == "thread"
+        assert executor.report.shards == 2
+
+    def test_process_pool_matches_serial(self, specs, serial):
+        executor = SweepExecutor(jobs=2, mode="process")
+        result = executor.run(specs, swept=["voxel_size"])
+        assert result.to_dict() == serial.to_dict()
+
+    def test_broken_process_pool_degrades_to_threads(self, specs, serial, monkeypatch):
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        class BrokenPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, *args, **kwargs):
+                raise BrokenProcessPool("workers cannot be spawned")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", BrokenPool)
+        executor = SweepExecutor(jobs=2, mode="process")
+        result = executor.run(specs, swept=["voxel_size"])
+        assert result.to_dict() == serial.to_dict()
+        assert executor.report.mode == "thread"
+
+    def test_merge_order_is_input_order(self, specs, serial):
+        reversed_result = SweepExecutor(jobs=2, mode="thread").run(
+            list(reversed(specs)), swept=["voxel_size"]
+        )
+        assert [r.meta["tag"] for r in reversed_result] == [
+            r.meta["tag"] for r in reversed(serial.results)
+        ]
+
+
+class TestStoreIntegration:
+    def test_cold_then_warm(self, tmp_path, specs, serial):
+        store = ResultStore(tmp_path / "cache")
+        cold_executor = SweepExecutor(jobs=2, store=store)
+        cold = cold_executor.run(specs, swept=["voxel_size"])
+        assert cold.to_dict() == serial.to_dict()
+        assert cold_executor.report.cache_misses == len(specs)
+        assert cold_executor.report.cache_hits == 0
+        assert len(store) == len(specs)
+
+        warm_session = Session(store=store)
+        warm = warm_session.run_sweep(specs, swept=["voxel_size"], jobs=2)
+        assert warm.to_dict() == serial.to_dict()
+        # Every point came from disk: no renders, no contexts built.
+        assert warm_session.service.requests_served == 0
+        assert warm_session.context_misses == 0
+        assert warm_session.stats()["points_run"] == 0
+
+    def test_partial_warm_store(self, tmp_path, specs, serial):
+        store = ResultStore(tmp_path / "cache")
+        store.put(specs[0], serial.results[0])
+        executor = SweepExecutor(store=store)
+        result = executor.run(specs, swept=["voxel_size"])
+        assert result.to_dict() == serial.to_dict()
+        assert executor.report.cache_hits == 1
+        assert executor.report.cache_misses == len(specs) - 1
+        assert len(store) == len(specs)
+
+    def test_store_from_path(self, tmp_path):
+        executor = SweepExecutor(store=tmp_path / "cache")
+        assert isinstance(executor.store, ResultStore)
+
+    def test_store_false_disables(self):
+        assert SweepExecutor(store=False).store is None
+
+    def test_store_true_is_rejected(self):
+        with pytest.raises(ValueError, match="ambiguous"):
+            SweepExecutor(store=True)
+
+
+class TestSessionSweepParams:
+    def test_sweep_with_jobs_and_cache(self, tmp_path, specs, serial):
+        session = Session()
+        result = session.sweep(
+            ExperimentSpec(scene="lego", resolution_scale=SCALE),
+            jobs=2,
+            cache=tmp_path / "cache",
+            voxel_size=(0.4, 0.8),
+        )
+        assert result.to_dict() == serial.to_dict()
+
+    def test_cache_false_disables_session_store(self, tmp_path, specs):
+        session = Session(store=tmp_path / "cache")
+        session.run_sweep(specs[:1], cache=False)
+        assert len(session.store) == 0
+
+    def test_cache_true_is_rejected(self, specs):
+        with pytest.raises(ValueError, match="ambiguous"):
+            Session().run_sweep(specs[:1], cache=True)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            Session(jobs=0)

@@ -1,0 +1,160 @@
+"""Tests for the disk-backed result store and the trajectory helpers."""
+
+import json
+
+import pytest
+
+from repro.api import ExperimentResult, ExperimentSpec, ResultStore, spec_key
+from repro.api.store import (
+    STORE_SCHEMA_VERSION,
+    append_trajectory,
+    atomic_write_json,
+    resolve_store,
+)
+
+
+def make_result(value: float = 1.5) -> ExperimentResult:
+    return ExperimentResult(
+        name="point",
+        title="test point",
+        text="formatted body",
+        metrics={"speedup": value},
+        payload={"nested": {"list": [1, 2]}},
+        meta={"label": "test"},
+    )
+
+
+class TestSpecKey:
+    def test_stable_across_override_dict_ordering(self):
+        a = ExperimentSpec(
+            scene="lego",
+            config={"voxel_size": 1.0, "tile_size": 8},
+            arch_options={"cfus_per_hfu": 2, "ffus_per_hfu": 3},
+        )
+        b = ExperimentSpec(
+            scene="lego",
+            config={"tile_size": 8, "voxel_size": 1.0},
+            arch_options={"ffus_per_hfu": 3, "cfus_per_hfu": 2},
+        )
+        assert spec_key(a) == spec_key(b)
+
+    def test_equal_specs_equal_keys(self):
+        assert spec_key(ExperimentSpec(scene="train")) == spec_key(
+            ExperimentSpec(scene="train")
+        )
+
+    def test_distinct_specs_distinct_keys(self):
+        base = ExperimentSpec(scene="lego")
+        assert spec_key(base) != spec_key(base.with_options(arch="gscore"))
+        assert spec_key(base) != spec_key(base.with_options(config={"voxel_size": 9.0}))
+        assert spec_key(base) != spec_key(base.with_options(resolution_scale=0.5))
+
+    def test_version_is_part_of_the_key(self):
+        spec = ExperimentSpec(scene="lego")
+        assert spec_key(spec, version="0.0.0") != spec_key(spec)
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = ExperimentSpec(scene="lego")
+        result = make_result()
+        assert store.get(spec) is None
+        assert spec not in store
+        store.put(spec, result)
+        assert spec in store
+        restored = store.get(spec)
+        assert restored.to_dict() == result.to_dict()
+        assert store.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_version_bump_invalidates(self, tmp_path):
+        spec = ExperimentSpec(scene="lego")
+        old = ResultStore(tmp_path, version="1.0.0")
+        old.put(spec, make_result())
+        new = ResultStore(tmp_path, version="2.0.0")
+        assert new.get(spec) is None
+        assert new.misses == 1
+        # The old entry is untouched — invalidation is by key, not deletion.
+        assert old.get(spec) is not None
+
+    def test_schema_version_in_key(self, tmp_path, monkeypatch):
+        spec = ExperimentSpec(scene="lego")
+        store = ResultStore(tmp_path)
+        before = store.key(spec)
+        monkeypatch.setattr("repro.api.store.STORE_SCHEMA_VERSION", STORE_SCHEMA_VERSION + 1)
+        assert store.key(spec) != before
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = ExperimentSpec(scene="lego")
+        store.put(spec, make_result())
+        path = store.path(spec)
+        path.write_text("{ truncated")
+        assert store.get(spec) is None
+        assert store.misses == 1
+        assert not path.exists()  # damaged entry removed
+        store.put(spec, make_result(2.0))
+        assert store.get(spec).metrics["speedup"] == 2.0
+
+    def test_entry_with_wrong_shape_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = ExperimentSpec(scene="lego")
+        path = store.path(spec)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"key": "not-the-right-key", "result": {}}))
+        assert store.get(spec) is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(ExperimentSpec(scene="lego"), make_result())
+        store.put(ExperimentSpec(scene="train"), make_result())
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestResolveStore:
+    def test_none_and_false_disable(self):
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+
+    def test_path_and_instance(self, tmp_path):
+        from_path = resolve_store(tmp_path / "cache")
+        assert isinstance(from_path, ResultStore)
+        assert resolve_store(from_path) is from_path
+
+    def test_true_and_junk_rejected(self):
+        with pytest.raises(ValueError, match="ambiguous"):
+            resolve_store(True)
+        with pytest.raises(TypeError, match="result store"):
+            resolve_store(42)
+
+
+class TestTrajectory:
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        append_trajectory(path, {"run": 1})
+        trajectory = append_trajectory(path, {"run": 2})
+        assert [e["run"] for e in trajectory] == [1, 2]
+        assert json.loads(path.read_text()) == trajectory
+        # No stray temp files left behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_corrupt_trajectory_is_set_aside(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text("[{ truncated")
+        trajectory = append_trajectory(path, {"run": 1})
+        assert [e["run"] for e in trajectory] == [1]
+        assert (tmp_path / "BENCH_test.json.corrupt").exists()
+
+    def test_non_list_trajectory_is_set_aside(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        assert [e["run"] for e in append_trajectory(path, {"run": 1})] == [1]
+
+    def test_atomic_write_json(self, tmp_path):
+        path = tmp_path / "sub" / "data.json"
+        atomic_write_json(path, {"values": (1, 2)})
+        assert json.loads(path.read_text()) == {"values": [1, 2]}
+        assert path.read_text().endswith("\n")
