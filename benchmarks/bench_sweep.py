@@ -9,16 +9,22 @@ so the shards are independent), times it three ways —
   ``--jobs N`` process workers;
 * **warm** — the same grid against a cold then warm
   :class:`~repro.api.store.ResultStore`, asserting the warm run hits the
-  store for every spec and performs **zero** renders
+  store for every spec and performs **zero** renders;
+* **warm pool** — two consecutive ``run_sweep`` calls on one
+  :class:`Session`, asserting the second reuses the persistent worker
+  pool (``ExecutionReport.worker_reuse >= 1``) instead of paying pool
+  startup again
 
-— verifies the three produce bit-identical :class:`SweepResult` payloads,
-and appends the measurements to the ``BENCH_sweep.json`` trajectory next to
+— verifies they produce bit-identical :class:`SweepResult` tables
+(``meta`` carries run telemetry and legitimately differs), and appends the
+measurements to the ``BENCH_sweep.json`` trajectory next to
 ``BENCH_engine.json`` (atomic write-temp-then-rename appends)::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py
     PYTHONPATH=src python benchmarks/bench_sweep.py --check --min-speedup 1.05
 
-``--check`` exits non-zero when results diverge, the store misbehaves, or
+``--check`` exits non-zero when results diverge, the store misbehaves, the
+warm pool is not reused (or is drastically slower than the cold one), or
 (on multi-core hosts) the parallel run fails the speedup bar; on a
 single-CPU host the speedup gate is skipped — the hardware cannot overlap
 the shards — while every correctness assertion still applies.
@@ -40,6 +46,12 @@ from repro.api import ExperimentSpec, ResultStore, Session, SweepExecutor, appen
 REQUIRED_SPEEDUP = 1.05
 
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: Warm-pool bar: the pool-reusing second sweep may be at most this much
+#: slower than the pool-creating first one (it should in fact be faster —
+#: the bar is loose because both runs are short and hosts are noisy).
+POOL_WARM_SLACK = 1.5
+
 
 
 def main(argv=None) -> int:
@@ -98,8 +110,28 @@ def main(argv=None) -> int:
         f"speedup {speedup:.2f}x)"
     )
 
-    parity_ok = parallel.to_dict() == serial.to_dict()
+    parity_ok = parallel.table_dict() == serial.table_dict()
     print(f"serial/parallel results identical: {parity_ok}")
+
+    # Persistent-pool behaviour: two sweeps on one session — the second
+    # must reuse the first's worker pool instead of building a new one.
+    with Session(jobs=args.jobs) as pool_session:
+        start = time.perf_counter()
+        pool_cold = pool_session.run_sweep(specs, swept=["voxel_size"], cache=False)
+        pool_cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        pool_warm = pool_session.run_sweep(specs, swept=["voxel_size"], cache=False)
+        pool_warm_s = time.perf_counter() - start
+        pool_reuse = pool_session.last_execution.worker_reuse
+    pool_ok = (
+        pool_reuse >= 1
+        and pool_cold.table_dict() == serial.table_dict()
+        and pool_warm.table_dict() == serial.table_dict()
+    )
+    print(
+        f"warm pool        : {pool_cold_s:6.2f}s cold, {pool_warm_s:6.2f}s warm "
+        f"(reuse={pool_reuse}, {'ok' if pool_ok else 'FAIL'})"
+    )
 
     # Result-store behaviour: cold run misses and populates, warm run hits
     # every spec and renders nothing.
@@ -110,7 +142,7 @@ def main(argv=None) -> int:
         cold_ok = (
             cold_executor.report.cache_misses == len(specs)
             and cold_executor.report.cache_hits == 0
-            and cold.to_dict() == serial.to_dict()
+            and cold.table_dict() == serial.table_dict()
         )
         warm_session = Session(store=store)
         warm = warm_session.run_sweep(specs, swept=["voxel_size"], jobs=args.jobs)
@@ -118,7 +150,7 @@ def main(argv=None) -> int:
         warm_ok = (
             store.hits == len(specs)
             and warm_renders == 0
-            and warm.to_dict() == serial.to_dict()
+            and warm.table_dict() == serial.table_dict()
         )
     print(
         f"store: cold populated {len(specs)} entries ({'ok' if cold_ok else 'FAIL'}), "
@@ -136,8 +168,12 @@ def main(argv=None) -> int:
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": speedup,
+        "pool_cold_s": pool_cold_s,
+        "pool_warm_s": pool_warm_s,
+        "pool_reuse": pool_reuse,
         "parity_ok": parity_ok,
         "cache_ok": cold_ok and warm_ok,
+        "pool_ok": pool_ok,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     append_trajectory(args.output, entry)
@@ -151,6 +187,25 @@ def main(argv=None) -> int:
         if not (cold_ok and warm_ok):
             print("FAIL: result-store cold/warm behaviour is wrong", file=sys.stderr)
             failed = True
+        if not pool_ok:
+            print(
+                "FAIL: persistent worker pool was not reused across sweeps "
+                f"(reuse={pool_reuse})",
+                file=sys.stderr,
+            )
+            failed = True
+        elif pool_warm_s > pool_cold_s * POOL_WARM_SLACK:
+            print(
+                f"FAIL: warm-pool sweep took {pool_warm_s:.2f}s > "
+                f"{POOL_WARM_SLACK}x the cold-pool {pool_cold_s:.2f}s",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(
+                f"OK: warm pool reused (reuse={pool_reuse}, "
+                f"{pool_cold_s:.2f}s -> {pool_warm_s:.2f}s)"
+            )
         cpus = os.cpu_count() or 1
         if cpus < 2:
             print(

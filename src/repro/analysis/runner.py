@@ -22,7 +22,20 @@ and the disk-backed result store: ``--cache-dir DIR`` (or the
 so a warm re-run renders nothing; ``--no-cache`` disables the store even
 when the environment configures one.  ``--options '{"voxel_sizes":
 [1.0, 2.0]}'`` forwards keyword arguments to each named experiment's
-builder (reduced smoke grids in CI).
+builder (reduced smoke grids in CI); when every top-level key names a
+registered experiment and maps to an object, the options are routed per
+experiment instead — ``'{"fig12": {"voxel_sizes": [1.0]}, "fig13":
+{"cfus": [1, 2]}}'`` — which is how a multi-experiment invocation mixes
+builders with different signatures.
+
+With ``--jobs N`` and more than one experiment (``runner all --jobs 4``),
+whole experiments are scheduled across a process pool
+(:func:`repro.api.executor.schedule_experiments`): dispatch is
+heaviest-first by each definition's ``cost_hint``, results print in
+request order, and a ``[scheduler]`` telemetry line (per-experiment wall
+times, worker reuse) goes to stderr.  Single-experiment invocations keep
+``--jobs`` at the sweep level and report their sharded execution on an
+``[execution]`` line instead.
 """
 
 from __future__ import annotations
@@ -79,6 +92,48 @@ def run_experiment(name: str) -> str:
 def list_experiments() -> List[str]:
     """Registered experiment names in presentation order."""
     return list(EXPERIMENTS)
+
+
+def route_options(
+    options: Dict[str, Any], names: List[str]
+) -> Dict[str, Dict[str, Any]]:
+    """Resolve ``--options`` into per-experiment builder kwargs.
+
+    A mapping whose every key is a registered experiment and whose every
+    value is an object is *per-experiment*: each named experiment gets its
+    entry (others get nothing).  Any other mapping is global: every named
+    experiment gets the same kwargs — the historical behaviour.
+
+    Raises ``ValueError`` when a per-experiment mapping routes options to
+    an experiment that is not being run — silently dropping them would let
+    a typo'd selection run with defaults and still exit 0.
+    """
+    per_experiment = bool(options) and all(
+        key in EXPERIMENTS and isinstance(value, dict)
+        for key, value in options.items()
+    )
+    if per_experiment:
+        unused = sorted(set(options) - set(names))
+        if unused:
+            raise ValueError(
+                f"--options routes to experiment(s) {unused} that are not "
+                f"selected; running: {list(names)}"
+            )
+        return {name: dict(options.get(name, {})) for name in names}
+    return {name: dict(options) for name in names}
+
+
+def _rejected_options(error: TypeError) -> bool:
+    """Whether a TypeError is a builder rejecting ``--options`` kwargs.
+
+    Only signature mismatches become a clean CLI error; a TypeError raised
+    inside experiment code keeps its traceback.
+    """
+    message = str(error)
+    return (
+        "unexpected keyword argument" in message
+        or "accepts no experiment parameters" in message
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -162,28 +217,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.api.store import ResultStore
 
         store = ResultStore(args.cache_dir)
+    try:
+        options_for = route_options(options, names)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.jobs > 1 and len(names) > 1:
+        return _main_scheduled(names, args, options_for, store)
+
     # The CLI flags apply only to this invocation: the process-wide session
     # keeps whatever jobs/store another in-process caller configured.
     session = get_default_session()
     previous = (session.jobs, session.store)
     session.jobs, session.store = args.jobs, store
+    last_report = session.last_execution
     try:
         for name in names:
+            kwargs = options_for[name]
             try:
-                result = run_experiment_result(name, **options)
+                result = run_experiment_result(name, **kwargs)
             except TypeError as error:
-                # Only signature mismatches become a clean CLI error; a
-                # TypeError raised inside experiment code keeps its traceback.
-                message = str(error)
-                rejected = (
-                    "unexpected keyword argument" in message
-                    or "accepts no experiment parameters" in message
-                )
-                if not options or not rejected:
+                if not kwargs or not _rejected_options(error):
                     raise
                 print(
                     f"error: experiment {name!r} rejected --options "
-                    f"{sorted(options)}: {error}",
+                    f"{sorted(kwargs)}: {error}",
                     file=sys.stderr,
                 )
                 return 2
@@ -192,11 +251,56 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 print(result.format())
                 print()
+            # Sweep-shaped experiments leave their ExecutionReport on the
+            # session; surface it whenever parallelism or the store is on.
+            if (
+                (args.jobs > 1 or store is not None)
+                and session.last_execution is not None
+                and session.last_execution is not last_report
+            ):
+                last_report = session.last_execution
+                print(f"[execution] {name}: {last_report.summary()}", file=sys.stderr)
     finally:
         session.jobs, session.store = previous
     if store is not None:
         print(
             f"[result-store] hits={store.hits} misses={store.misses} "
+            f"entries={len(store)} dir={store.root}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _main_scheduled(names, args, options_for, store) -> int:
+    """``runner all --jobs N``: whole experiments across a process pool."""
+    from repro.api.executor import schedule_experiments
+
+    try:
+        results, report = schedule_experiments(
+            names,
+            jobs=args.jobs,
+            options=options_for,
+            cache_dir=str(store.root) if store is not None else None,
+        )
+    except TypeError as error:
+        if not any(options_for.values()) or not _rejected_options(error):
+            raise
+        print(f"error: an experiment rejected --options: {error}", file=sys.stderr)
+        return 2
+    for result in results:
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.format())
+            print()
+    for name in names:
+        print(f"[scheduler] {name}: {report.elapsed_s[name]:.2f}s", file=sys.stderr)
+    print(f"[scheduler] {report.summary()}", file=sys.stderr)
+    if store is not None:
+        # Hit/miss counters are aggregated from the workers; the entry
+        # count is read back from the shared on-disk store.
+        print(
+            f"[result-store] hits={report.store_hits} misses={report.store_misses} "
             f"entries={len(store)} dir={store.root}",
             file=sys.stderr,
         )

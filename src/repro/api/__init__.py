@@ -16,10 +16,18 @@ The public surface:
   and the CLI runner.
 * :class:`~repro.api.executor.SweepExecutor` — sharded parallel sweep
   evaluation (``session.sweep(..., jobs=4)``) with deterministic merge
-  order.
+  order, shard-splitting for single-context grids (broadcast scene
+  contexts), and an :class:`~repro.api.executor.ExecutionReport` in
+  ``SweepResult.meta["execution"]``.
+* :class:`~repro.api.pool.WorkerPool` — the persistent worker pool a
+  session keeps warm across sweeps (``Session.close()`` / ``atexit`` shut
+  it down).
+* :func:`~repro.api.executor.schedule_experiments` — whole registry
+  experiments fanned out over a process pool (``runner all --jobs N``).
 * :class:`~repro.api.store.ResultStore` — disk-backed, content-addressed
   result cache keyed by a canonical spec hash; warm sweeps re-render
-  nothing.
+  nothing.  ``max_bytes=`` caps its size (LRU-by-mtime eviction via
+  ``store.gc()``).
 
 Quickstart::
 
@@ -43,23 +51,35 @@ from repro.api.spec import (
     sweep,
 )
 from repro.api.store import ResultStore, append_trajectory, atomic_write_json, spec_key
-from repro.api.executor import SweepExecutor
+from repro.api.pool import WorkerPool
+from repro.api.executor import (
+    ExecutionReport,
+    ScheduleReport,
+    SpecEvaluationError,
+    SweepExecutor,
+    schedule_experiments,
+)
 from repro.api.session import Session, get_default_session, reset_default_session
 
 __all__ = [
     "ARCH_MODELS",
     "COMPRESSION_MODES",
+    "ExecutionReport",
     "ExperimentResult",
     "ExperimentSpec",
     "ResultStore",
+    "ScheduleReport",
     "Session",
+    "SpecEvaluationError",
     "SweepExecutor",
     "SweepResult",
+    "WorkerPool",
     "append_trajectory",
     "atomic_write_json",
     "get_default_session",
     "jsonify",
     "reset_default_session",
+    "schedule_experiments",
     "spec_key",
     "sweep",
 ]

@@ -1,4 +1,4 @@
-"""Parallel, sharded execution of experiment sweeps.
+"""Parallel, sharded execution of experiment sweeps — and of experiments.
 
 :class:`SweepExecutor` evaluates a list of
 :class:`~repro.api.spec.ExperimentSpec` points by
@@ -11,32 +11,62 @@
    config) — the expensive part of a point is building that context, and
    every spec in a shard shares it through
    :meth:`~repro.api.session.Session.run_many`,
-3. fanning the shards out over a process pool (``jobs`` workers; small
-   grids fall back to a thread pool, one-shard grids to the caller's own
-   session), and
-4. merging the per-shard outputs back into one
+3. **splitting** shards whose spec count crosses a threshold into
+   sub-shards: the caller builds the shared scene context once, and every
+   sub-shard worker receives it via the context-broadcast path
+   (:meth:`Session.adopt_context`), so a Fig. 13-shaped grid — one scene
+   context, dozens of cheap per-spec accelerator evaluations — fans out
+   across all workers instead of collapsing onto one,
+4. fanning the dispatch units out over the calling session's **persistent
+   worker pool** (:class:`~repro.api.pool.WorkerPool`; an ephemeral pool
+   when no session is given), and
+5. merging the per-unit outputs back into one
    :class:`~repro.api.result.SweepResult` in the original spec order —
-   the result is bit-identical to a serial run regardless of worker
+   the tables are byte-identical to a serial run regardless of worker
    scheduling, because every evaluation is deterministic and results are
    placed by input index, never by completion order.
 
-The executor is what :meth:`Session.run_sweep` runs on; callers normally
-reach it through ``session.sweep(..., jobs=4, cache="results/")``.
+What one run actually did — mode, shards, sub-shards, per-unit wall
+times, store hits, pool reuse — is recorded in an :class:`ExecutionReport`
+and surfaced as ``SweepResult.meta["execution"]``.
+
+:func:`schedule_experiments` applies the same machinery one level up:
+whole registry experiments (``fig2`` ... ``engine``) are dispatched across
+a process pool for ``runner all --jobs N``.  Experiments are mutually
+independent (dependency-free), so ordering only affects makespan; dispatch
+is by descending :attr:`~repro.api.experiments.ExperimentDefinition.cost_hint`
+(heaviest first), while results return in request order.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures.thread import BrokenThreadPool
+import math
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.result import ExperimentResult, SweepResult
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, resolve_store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.context import SceneContext
     from repro.api.session import Session
 
 #: Execution strategies (``auto`` picks per grid, see
@@ -46,6 +76,48 @@ EXECUTOR_MODES = ("auto", "serial", "thread", "process")
 #: Below this many pending specs, ``auto`` prefers a thread pool — process
 #: startup and re-import cost more than the grid itself on small sweeps.
 PROCESS_MIN_SPECS = 6
+
+#: Shards with at least this many specs are split into sub-shards that
+#: share one broadcast scene context.
+SHARD_SPLIT_THRESHOLD = 8
+
+#: A split never produces sub-shards smaller than this — below it the
+#: dispatch overhead outweighs the per-spec work.
+SUB_SHARD_MIN_SPECS = 4
+
+#: Pool-level failures that trigger graceful degradation to a cheaper
+#: mode.  ``RuntimeError`` covers thread-spawn exhaustion; user errors are
+#: wrapped in :class:`SpecEvaluationError` and always re-raised first.
+_POOL_FAILURES = (
+    BrokenProcessPool,
+    BrokenThreadPool,
+    OSError,
+    ValueError,
+    NotImplementedError,
+    RuntimeError,
+)
+
+
+class SpecEvaluationError(RuntimeError):
+    """One spec of a batch failed; names the offending point.
+
+    Raised by :meth:`Session.run_many` (and therefore by every executor
+    path, serial or pooled) wrapping the original exception, so a sweep
+    failure always says *which* grid point died — not just that a worker
+    raised somewhere.  The original exception is ``__cause__`` and
+    :attr:`error`.
+    """
+
+    def __init__(self, spec: ExperimentSpec, error: BaseException) -> None:
+        self.spec = spec
+        self.error = error
+        super().__init__(
+            f"evaluating spec {spec.label!r} ({spec.to_dict()}) failed: "
+            f"{type(error).__name__}: {error}"
+        )
+
+    def __reduce__(self):  # pool workers pickle exceptions back to the caller
+        return (type(self), (self.spec, self.error))
 
 
 def context_group_key(spec: ExperimentSpec) -> Tuple:
@@ -78,33 +150,110 @@ def group_by_context(
     return groups
 
 
+@dataclass
+class ShardUnit:
+    """One dispatch unit: a whole shard, or a sub-shard of a split one.
+
+    Sub-shards carry the scene context the caller built (``context``); the
+    worker adopts it instead of rebuilding, which is what makes splitting a
+    single-context grid profitable.
+    """
+
+    members: List[Tuple[int, ExperimentSpec]]
+    is_sub_shard: bool = False
+    context: Optional["SceneContext"] = None
+
+
+def _worker_id() -> str:
+    """Identity of the executing worker (process id / thread id)."""
+    import os
+    import threading
+
+    return f"{os.getpid()}:{threading.get_ident()}"
+
+
 def _evaluate_shard(
-    specs: Sequence[ExperimentSpec], seed: int
-) -> List[Dict]:
-    """Worker entry point: evaluate one shard in a fresh session.
+    specs: Sequence[ExperimentSpec], seed: int, context: Optional["SceneContext"] = None
+) -> Dict[str, Any]:
+    """Worker entry point: evaluate one dispatch unit in a fresh session.
 
     Runs in a pool worker (process or thread); builds a private
     :class:`~repro.api.session.Session` so no state is shared with the
-    caller, and returns plain ``to_dict()`` payloads (cheap to pickle,
-    lossless to reconstruct).
+    caller, adopts the broadcast ``context`` when the unit is a sub-shard
+    (so no worker rebuilds it), and returns plain ``to_dict()`` payloads
+    (cheap to pickle, lossless to reconstruct) plus unit telemetry.
     """
     from repro.api.session import Session
 
+    start = time.perf_counter()
     session = Session(seed=seed)
-    return [result.to_dict() for result in session.run_many(list(specs))]
+    if context is not None:
+        session.adopt_context(specs[0], context)
+    payloads = [result.to_dict() for result in session.run_many(list(specs))]
+    return {
+        "results": payloads,
+        "elapsed_s": time.perf_counter() - start,
+        "worker": _worker_id(),
+    }
 
 
 @dataclass
 class ExecutionReport:
-    """What one :meth:`SweepExecutor.run` actually did."""
+    """What one :meth:`SweepExecutor.run` actually did.
+
+    ``shards`` counts context groups, ``sub_shards`` the dispatch units
+    after splitting (equal when nothing was split).  ``worker_reuse`` is
+    the session pool's cumulative reuse counter — how many times a sweep
+    got handed an already-warm pool instead of paying startup.
+    """
 
     mode: str = "serial"
     jobs: int = 1
     shards: int = 0
+    sub_shards: int = 0
+    split_shards: int = 0
+    broadcast_contexts: int = 0
     specs: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     shard_sizes: List[int] = field(default_factory=list)
+    shard_times_s: List[float] = field(default_factory=list)
+    workers: int = 0
+    workers_used: int = 0
+    pool: str = "none"
+    worker_reuse: int = 0
+    wall_time_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form (stored in ``SweepResult.meta["execution"]``)."""
+        return {
+            "mode": self.mode,
+            "jobs": self.jobs,
+            "shards": self.shards,
+            "sub_shards": self.sub_shards,
+            "split_shards": self.split_shards,
+            "broadcast_contexts": self.broadcast_contexts,
+            "specs": self.specs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "shard_sizes": list(self.shard_sizes),
+            "shard_times_s": [round(t, 6) for t in self.shard_times_s],
+            "workers": self.workers,
+            "workers_used": self.workers_used,
+            "pool": self.pool,
+            "worker_reuse": self.worker_reuse,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+    def summary(self) -> str:
+        """One-line telemetry (the runner's ``[execution]`` line)."""
+        return (
+            f"mode={self.mode} jobs={self.jobs} shards={self.shards} "
+            f"sub_shards={self.sub_shards} specs={self.specs} "
+            f"store_hits={self.cache_hits} store_misses={self.cache_misses} "
+            f"pool={self.pool} reuse={self.worker_reuse} "
+            f"wall={self.wall_time_s:.2f}s"
+        )
 
 
 class SweepExecutor:
@@ -120,11 +269,14 @@ class SweepExecutor:
         consulted before evaluation and updated after it.
     mode:
         ``auto`` (default), ``serial``, ``thread`` or ``process``.
-        ``auto`` picks serially for one shard or one job, threads for
-        small grids, processes otherwise; a pool that cannot be created
-        degrades to the next cheaper mode instead of failing.
+        ``auto`` picks serially for one dispatch unit or one job, threads
+        for small grids, processes otherwise; a pool that cannot be
+        created degrades to the next cheaper mode instead of failing.
     seed:
         Seed of the private worker sessions.
+    split_threshold:
+        Shards with at least this many specs are split into sub-shards
+        sharing a broadcast context (0 disables splitting).
     """
 
     def __init__(
@@ -133,15 +285,19 @@ class SweepExecutor:
         store: Optional[Union[ResultStore, str, Path]] = None,
         mode: str = "auto",
         seed: int = 0,
+        split_threshold: int = SHARD_SPLIT_THRESHOLD,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if mode not in EXECUTOR_MODES:
             raise ValueError(f"unknown mode {mode!r}; available: {list(EXECUTOR_MODES)}")
+        if split_threshold < 0:
+            raise ValueError(f"split_threshold must be >= 0, got {split_threshold}")
         self.jobs = jobs
         self.store = resolve_store(store)
         self.mode = mode
         self.seed = seed
+        self.split_threshold = split_threshold
         self.report = ExecutionReport()
 
     # ------------------------------------------------------------------
@@ -151,11 +307,39 @@ class SweepExecutor:
         """Group (index, spec) pairs by shared scene context, in first-seen order."""
         return group_by_context(enumerate(specs))
 
-    def choose_mode(self, num_shards: int, num_specs: int) -> str:
-        """Resolve ``auto`` against the pending grid."""
+    def split(
+        self, shards: List[List[Tuple[int, ExperimentSpec]]]
+    ) -> List[ShardUnit]:
+        """Split oversized shards into sub-shards for context broadcast.
+
+        A shard of at least ``split_threshold`` specs becomes
+        ``min(jobs, ceil(size / SUB_SHARD_MIN_SPECS))`` contiguous
+        sub-shards; everything else dispatches whole.  Splitting never
+        reorders members, so the input-order merge is unaffected.
+        """
+        units: List[ShardUnit] = []
+        for members in shards:
+            size = len(members)
+            pieces = (
+                min(self.jobs, math.ceil(size / SUB_SHARD_MIN_SPECS))
+                if self.split_threshold and size >= self.split_threshold
+                else 1
+            )
+            if pieces <= 1:
+                units.append(ShardUnit(members))
+                continue
+            chunk = math.ceil(size / pieces)
+            units.extend(
+                ShardUnit(members[start : start + chunk], is_sub_shard=True)
+                for start in range(0, size, chunk)
+            )
+        return units
+
+    def choose_mode(self, num_units: int, num_specs: int) -> str:
+        """Resolve ``auto`` against the pending dispatch units."""
         if self.mode != "auto":
             return self.mode
-        if self.jobs <= 1 or num_shards <= 1:
+        if self.jobs <= 1 or num_units <= 1:
             return "serial"
         if num_specs < PROCESS_MIN_SPECS:
             return "thread"
@@ -171,9 +355,11 @@ class SweepExecutor:
         """Evaluate every spec and return results in input order.
 
         ``session`` is used for serial evaluation (so warm contexts are
-        reused) and supplies the worker seed; a private one is created
-        when omitted.
+        reused), supplies the worker seed, builds the broadcast contexts
+        of split shards, and provides the persistent worker pool; a
+        private session (and an ephemeral pool) is used when omitted.
         """
+        started = time.perf_counter()
         specs = list(specs)
         results: List[Optional[ExperimentResult]] = [None] * len(specs)
         self.report = ExecutionReport(jobs=self.jobs, specs=len(specs))
@@ -189,16 +375,26 @@ class SweepExecutor:
         self.report.cache_misses = len(pending)
 
         if pending:
-            anchored = list(group_by_context(pending).values())
-            self.report.shards = len(anchored)
-            self.report.shard_sizes = [len(members) for members in anchored]
-            mode = self.choose_mode(len(anchored), len(pending))
+            shards = list(group_by_context(pending).values())
+            self.report.shards = len(shards)
+            units = self.split(shards) if self.jobs > 1 else [ShardUnit(m) for m in shards]
+            self.report.sub_shards = len(units)
+            self.report.split_shards = len(shards) - sum(
+                1 for unit in units if not unit.is_sub_shard
+            )
+            self.report.shard_sizes = [len(unit.members) for unit in units]
+            mode = self.choose_mode(len(units), len(pending))
             self.report.mode = mode
 
             if mode == "serial":
-                self._run_serial(anchored, results, session)
+                # Serial never splits: one session walks the shards whole.
+                units = [ShardUnit(m) for m in shards]
+                self.report.sub_shards = len(units)
+                self.report.split_shards = 0
+                self.report.shard_sizes = [len(unit.members) for unit in units]
+                self._run_serial(units, results, session)
             else:
-                self._run_pool(anchored, results, mode, session)
+                self._run_pool(units, results, mode, session)
 
             if self.store is not None:
                 for index, spec in pending:
@@ -207,12 +403,17 @@ class SweepExecutor:
         missing = [i for i, result in enumerate(results) if result is None]
         if missing:  # pragma: no cover - defensive; pools propagate errors
             raise RuntimeError(f"sweep left {len(missing)} specs unevaluated: {missing}")
-        return SweepResult(results=list(results), swept=list(swept or []))
+        self.report.wall_time_s = time.perf_counter() - started
+        return SweepResult(
+            results=list(results),
+            swept=list(swept or []),
+            meta={"execution": self.report.to_dict()},
+        )
 
     # ------------------------------------------------------------------
     def _run_serial(
         self,
-        shards: List[List[Tuple[int, ExperimentSpec]]],
+        units: List[ShardUnit],
         results: List[Optional[ExperimentResult]],
         session: Optional["Session"],
     ) -> None:
@@ -220,52 +421,246 @@ class SweepExecutor:
             from repro.api.session import Session
 
             session = Session(seed=self.seed)
-        ordered = [pair for members in shards for pair in members]
-        evaluated = session.run_many([spec for _, spec in ordered])
-        for (index, _), result in zip(ordered, evaluated):
-            results[index] = result
+        self.report.shard_times_s = []
+        self.report.workers = 1
+        self.report.workers_used = 1
+        for unit in units:
+            start = time.perf_counter()
+            evaluated = session.run_many([spec for _, spec in unit.members])
+            self.report.shard_times_s.append(time.perf_counter() - start)
+            for (index, _), result in zip(unit.members, evaluated):
+                results[index] = result
+
+    def _broadcast_contexts(
+        self, units: List[ShardUnit], session: Optional["Session"]
+    ) -> None:
+        """Build each split shard's scene context once and attach it.
+
+        Sub-shards of one shard share a single context object (threads get
+        it by reference, process workers a pickled copy), so a split shard
+        costs one context build total — in the calling session, where it
+        stays cached for later runs.
+        """
+        if not any(unit.is_sub_shard for unit in units):
+            return
+        if session is None:
+            from repro.api.session import Session
+
+            session = Session(seed=self.seed)
+        contexts: Dict[Tuple, "SceneContext"] = {}
+        for unit in units:
+            if not unit.is_sub_shard:
+                continue
+            first_spec = unit.members[0][1]
+            key = context_group_key(first_spec)
+            if key not in contexts:
+                contexts[key] = session.spec_context(first_spec)
+            unit.context = contexts[key]
+        self.report.broadcast_contexts = len(contexts)
 
     def _run_pool(
         self,
-        shards: List[List[Tuple[int, ExperimentSpec]]],
+        units: List[ShardUnit],
         results: List[Optional[ExperimentResult]],
         mode: str,
         session: Optional["Session"],
     ) -> None:
         seed = session.seed if session is not None else self.seed
-        workers = min(self.jobs, len(shards))
+        workers = min(self.jobs, len(units))
+        self.report.workers = workers
+        self._broadcast_contexts(units, session)
+        owner = session.worker_pool() if session is not None else None
+        self.report.pool = "persistent" if owner is not None else "ephemeral"
+
         if mode == "process":
             # Process pools can fail lazily: construction succeeds but the
             # workers die at submit/fork time (rlimits, sandboxes, missing
             # /dev/shm).  Either way, degrade to threads and recompute —
-            # shard evaluation is deterministic, so a partial first pass is
+            # unit evaluation is deterministic, so a partial first pass is
             # simply overwritten.
             try:
-                with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                    self._collect(pool, shards, results, seed)
+                self._collect_on(owner, "process", workers, units, results, seed)
                 return
-            except (
-                concurrent.futures.process.BrokenProcessPool,
-                OSError,
-                ValueError,
-                NotImplementedError,
-            ):
+            except SpecEvaluationError:
+                raise  # a grid point failed — that is the caller's error
+            except _POOL_FAILURES:
+                if owner is not None:
+                    owner.discard("process")
                 self.report.mode = "thread"
-        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            self._collect(pool, shards, results, seed)
+        try:
+            self._collect_on(owner, "thread", workers, units, results, seed)
+        except SpecEvaluationError:
+            raise
+        except _POOL_FAILURES:
+            # Even threads cannot be spawned: finish the job serially.
+            if owner is not None:
+                owner.discard("thread")
+            self.report.mode = "serial"
+            self.report.pool = "none"
+            self._run_serial(units, results, session)
+            return
+        if owner is not None:
+            self.report.worker_reuse = owner.reuse_count
 
-    @staticmethod
-    def _collect(
-        pool: concurrent.futures.Executor,
-        shards: List[List[Tuple[int, ExperimentSpec]]],
+    def _collect_on(
+        self,
+        owner,
+        mode: str,
+        workers: int,
+        units: List[ShardUnit],
         results: List[Optional[ExperimentResult]],
         seed: int,
     ) -> None:
+        """Run the units on a pool of ``mode``: persistent when a session
+        owns one, ephemeral (created and torn down here) otherwise."""
+        if owner is not None:
+            pool = owner.executor(mode, workers)
+            self._collect(pool, units, results, seed)
+            self.report.worker_reuse = owner.reuse_count
+        elif mode == "process":
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                self._collect(pool, units, results, seed)
+        else:
+            with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                self._collect(pool, units, results, seed)
+
+    def _collect(
+        self,
+        pool: concurrent.futures.Executor,
+        units: List[ShardUnit],
+        results: List[Optional[ExperimentResult]],
+        seed: int,
+    ) -> None:
+        self.report.shard_times_s = [0.0] * len(units)
         futures = {
-            pool.submit(_evaluate_shard, [spec for _, spec in members], seed): members
-            for members in shards
+            pool.submit(
+                _evaluate_shard,
+                [spec for _, spec in unit.members],
+                seed,
+                unit.context,
+            ): (position, unit)
+            for position, unit in enumerate(units)
         }
+        seen_workers = set()
         for future in concurrent.futures.as_completed(futures):
-            members = futures[future]
-            for (index, _), payload in zip(members, future.result()):
-                results[index] = ExperimentResult.from_dict(payload)
+            position, unit = futures[future]
+            payload = future.result()
+            self.report.shard_times_s[position] = payload["elapsed_s"]
+            seen_workers.add(payload["worker"])
+            for (index, _), result in zip(unit.members, payload["results"]):
+                results[index] = ExperimentResult.from_dict(result)
+        self.report.workers_used = len(seen_workers)
+
+
+# ----------------------------------------------------------------------
+# Experiment-level scheduling (``runner all --jobs N``).
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleReport:
+    """What one :func:`schedule_experiments` call actually did."""
+
+    mode: str = "serial"
+    jobs: int = 1
+    experiments: int = 0
+    workers: int = 0
+    workers_used: int = 0
+    worker_reuse: int = 0
+    wall_time_s: float = 0.0
+    elapsed_s: Dict[str, float] = field(default_factory=dict)
+    store_hits: int = 0
+    store_misses: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "jobs": self.jobs,
+            "experiments": self.experiments,
+            "workers": self.workers,
+            "workers_used": self.workers_used,
+            "worker_reuse": self.worker_reuse,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "elapsed_s": {name: round(t, 6) for name, t in self.elapsed_s.items()},
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+        }
+
+    def summary(self) -> str:
+        """One-line telemetry (the runner's ``[scheduler]`` line)."""
+        return (
+            f"mode={self.mode} jobs={self.jobs} experiments={self.experiments} "
+            f"workers={self.workers} worker_reuse={self.worker_reuse} "
+            f"wall={self.wall_time_s:.2f}s"
+        )
+
+
+def schedule_experiments(
+    names: Sequence[str],
+    jobs: int = 1,
+    options: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Tuple[List[ExperimentResult], ScheduleReport]:
+    """Run registry experiments, fanned out over a process pool.
+
+    Experiments are mutually independent, so the schedule is dependency
+    free; dispatch order is by descending ``cost_hint`` (heaviest first
+    minimises makespan), results come back in the order of ``names``.
+    ``options`` maps experiment names to builder kwargs; ``cache_dir``
+    points every worker at one shared disk store.  A pool that cannot be
+    created — or that breaks mid-run — degrades to in-process serial
+    execution of whatever is still missing.
+    """
+    from repro.api.experiments import get_experiment, run_experiment_payload
+
+    names = list(names)
+    options = dict(options or {})
+    definitions = {name: get_experiment(name) for name in names}  # validates early
+    report = ScheduleReport(jobs=jobs, experiments=len(names))
+    started = time.perf_counter()
+    payloads: Dict[str, Dict[str, Any]] = {}
+
+    workers = min(jobs, len(names))
+    if workers > 1:
+        dispatch = sorted(
+            names, key=lambda name: definitions[name].cost_hint, reverse=True
+        )
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        run_experiment_payload,
+                        name,
+                        options.get(name),
+                        str(cache_dir) if cache_dir else None,
+                    ): name
+                    for name in dispatch
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    payloads[futures[future]] = future.result()
+            report.mode = "process"
+            report.workers = workers
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except _POOL_FAILURES:
+            # Keep whatever completed; the serial pass below fills the rest.
+            pass
+
+    # Reuse is a pool property: only experiments that actually completed on
+    # pool workers count, so a serial fallback never fabricates reuse.
+    pool_workers = {payload["worker"] for payload in payloads.values()}
+    report.worker_reuse = max(0, len(payloads) - len(pool_workers))
+
+    for name in names:
+        if name not in payloads:
+            payloads[name] = run_experiment_payload(
+                name, options.get(name), str(cache_dir) if cache_dir else None
+            )
+
+    report.workers_used = len({payload["worker"] for payload in payloads.values()})
+    report.elapsed_s = {name: payloads[name]["elapsed_s"] for name in names}
+    report.store_hits = sum(p["store_hits"] for p in payloads.values())
+    report.store_misses = sum(p["store_misses"] for p in payloads.values())
+    report.wall_time_s = time.perf_counter() - started
+    return (
+        [ExperimentResult.from_dict(payloads[name]["result"]) for name in names],
+        report,
+    )

@@ -26,22 +26,29 @@ class ExperimentDefinition:
 
     ``build(session, **kwargs)`` runs the experiment through the given
     session (kwargs narrow the experiment, e.g. fewer scenes) and returns
-    an :class:`ExperimentResult`.
+    an :class:`ExperimentResult`.  ``cost_hint`` is the experiment's rough
+    relative wall time (1.0 = one full-resolution scene context); the
+    experiment-level scheduler dispatches heaviest-first to minimise
+    makespan.  Experiments are mutually independent — nothing here depends
+    on another experiment's output — so any dispatch order is valid.
     """
 
     name: str
     description: str
     build: Callable[..., ExperimentResult]
+    cost_hint: float = 1.0
 
 
 REGISTRY: "OrderedDict[str, ExperimentDefinition]" = OrderedDict()
 
 
-def register(name: str, description: str):
+def register(name: str, description: str, cost_hint: float = 1.0):
     """Decorator adding a builder to the experiment registry."""
 
     def _add(build: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
-        REGISTRY[name] = ExperimentDefinition(name=name, description=description, build=build)
+        REGISTRY[name] = ExperimentDefinition(
+            name=name, description=description, build=build, cost_hint=cost_hint
+        )
         return build
 
     return _add
@@ -59,10 +66,52 @@ def experiment_names() -> List[str]:
     return list(REGISTRY)
 
 
+def run_experiment_payload(
+    name: str,
+    options: Any = None,
+    cache_dir: Any = None,
+) -> Dict[str, Any]:
+    """Run one experiment and return a pickle-friendly payload.
+
+    The worker entry point of the experiment-level scheduler
+    (:func:`repro.api.executor.schedule_experiments`): runs ``name``
+    through this process's default session (so experiments scheduled onto
+    the same worker share scene contexts and renderers — that sharing *is*
+    the pool's reuse win), optionally against a shared disk store rooted at
+    ``cache_dir``, and returns the result as ``to_dict()`` data plus
+    telemetry (elapsed wall time, worker id, store counters).
+    """
+    import time
+
+    from repro.api.executor import _worker_id
+    from repro.api.session import get_default_session
+    from repro.api.store import ResultStore
+
+    session = get_default_session()
+    store = ResultStore(cache_dir) if cache_dir else None
+    previous = (session.jobs, session.store)
+    # Workers run sweeps serially (jobs=1): parallelism already lives at
+    # the experiment level, and nested pools would oversubscribe the host.
+    session.jobs, session.store = 1, store
+    start = time.perf_counter()
+    try:
+        result = get_experiment(name).build(session, **dict(options or {}))
+    finally:
+        session.jobs, session.store = previous
+    return {
+        "name": name,
+        "result": result.to_dict(),
+        "elapsed_s": time.perf_counter() - start,
+        "worker": _worker_id(),
+        "store_hits": store.hits if store is not None else 0,
+        "store_misses": store.misses if store is not None else 0,
+    }
+
+
 # ----------------------------------------------------------------------
 # Builders: characterization (Sec. II-B).
 # ----------------------------------------------------------------------
-@register("fig2", "DRAM traffic breakdown of tile-centric 3DGS")
+@register("fig2", "DRAM traffic breakdown of tile-centric 3DGS", cost_hint=3.0)
 def _fig2(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.characterization import run_fig2
 
@@ -85,7 +134,7 @@ def _fig2(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
-@register("fig3", "3DGS FPS on the Orin NX GPU")
+@register("fig3", "3DGS FPS on the Orin NX GPU", cost_hint=3.0)
 def _fig3(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.characterization import run_fig3
 
@@ -109,7 +158,7 @@ def _fig3(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
-@register("fig4", "DRAM bandwidth needed for 90 FPS")
+@register("fig4", "DRAM bandwidth needed for 90 FPS", cost_hint=3.0)
 def _fig4(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.characterization import run_fig4
 
@@ -141,7 +190,7 @@ def _fig4(session: Session, **kwargs: Any) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Builders: algorithm quality (Sec. III).
 # ----------------------------------------------------------------------
-@register("fig7", "Boundary-aware fine-tuning (train scene)")
+@register("fig7", "Boundary-aware fine-tuning (train scene)", cost_hint=4.0)
 def _fig7(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.quality import run_fig7
 
@@ -166,7 +215,7 @@ def _fig7(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
-@register("tab1", "Accelerator configuration and area")
+@register("tab1", "Accelerator configuration and area", cost_hint=0.1)
 def _tab1(session: Session, **kwargs: Any) -> ExperimentResult:
     if kwargs:
         raise TypeError(f"tab1 accepts no experiment parameters, got {sorted(kwargs)}")
@@ -184,7 +233,7 @@ def _tab1(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
-@register("tab2", "Rendering quality (PSNR) comparison")
+@register("tab2", "Rendering quality (PSNR) comparison", cost_hint=6.0)
 def _tab2(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.quality import PAPER_MEAN_PSNR_DROP, run_table2
 
@@ -216,7 +265,7 @@ def _tab2(session: Session, **kwargs: Any) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Builders: end-to-end evaluation (Sec. V).
 # ----------------------------------------------------------------------
-@register("fig11", "End-to-end speedup and energy savings")
+@register("fig11", "End-to-end speedup and energy savings", cost_hint=6.0)
 def _fig11(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.performance import run_fig11
 
@@ -243,7 +292,7 @@ def _fig11(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
-@register("fig12", "Voxel-size sensitivity")
+@register("fig12", "Voxel-size sensitivity", cost_hint=6.0)
 def _fig12(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.sensitivity import run_fig12
 
@@ -266,7 +315,7 @@ def _fig12(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
-@register("fig13", "CFU/FFU sensitivity")
+@register("fig13", "CFU/FFU sensitivity", cost_hint=1.5)
 def _fig13(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.sensitivity import run_fig13
 
@@ -292,7 +341,7 @@ def _fig13(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
-@register("claims", "Supporting filtering / VQ claims")
+@register("claims", "Supporting filtering / VQ claims", cost_hint=1.0)
 def _claims(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.analysis.claims import run_supporting_claims
 
@@ -311,7 +360,7 @@ def _claims(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
-@register("engine", "Blending-kernel micro-benchmark (engine layer)")
+@register("engine", "Blending-kernel micro-benchmark (engine layer)", cost_hint=1.0)
 def _engine(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.engine.bench import run_kernel_benchmark
 

@@ -1,0 +1,104 @@
+"""Persistent worker pools shared across sweeps.
+
+PR 3's executor built a fresh process pool for every sweep, so repeated
+``run_sweep`` calls in one process paid worker startup (interpreter spawn,
+NumPy import) each time.  :class:`WorkerPool` keeps one
+``concurrent.futures`` executor per mode (``process`` / ``thread``) alive
+between sweeps; :class:`~repro.api.session.Session` owns one lazily and
+hands it to every :class:`~repro.api.executor.SweepExecutor` run, so the
+second sweep of a session reuses warm workers.
+
+Lifecycle: the pool is created on first use, grown (recreated larger) when
+a sweep asks for more workers than it holds, discarded when a pool breaks
+mid-run, and shut down by ``Session.close()`` — or by the ``atexit`` hook
+the session registers, so leaked sessions never hang interpreter exit.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, Optional
+
+#: Pool modes a :class:`WorkerPool` can serve.
+POOL_MODES = ("process", "thread")
+
+
+class WorkerPool:
+    """Lazily created, reusable executor pools keyed by mode.
+
+    ``executor(mode, workers)`` returns a live
+    :class:`concurrent.futures.Executor`; an existing pool of the same mode
+    with at least ``workers`` workers is reused (``reuse_count`` increments),
+    a smaller one is transparently replaced by a bigger one.  Callers never
+    shut the returned executor down — the pool owns it; a broken pool is
+    dropped with :meth:`discard` and the next request creates a fresh one.
+    """
+
+    def __init__(self) -> None:
+        self._executors: Dict[str, concurrent.futures.Executor] = {}
+        self._sizes: Dict[str, int] = {}
+        self.created = 0
+        self.reuse_count = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def executor(self, mode: str, workers: int) -> concurrent.futures.Executor:
+        """A live executor of ``mode`` with capacity for ``workers`` tasks."""
+        if mode not in POOL_MODES:
+            raise ValueError(f"unknown pool mode {mode!r}; available: {list(POOL_MODES)}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if self.closed:
+            raise RuntimeError("worker pool is closed")
+        existing = self._executors.get(mode)
+        if existing is not None:
+            if self._sizes[mode] >= workers:
+                self.reuse_count += 1
+                return existing
+            # Too small for this sweep: replace with a bigger pool.  The old
+            # workers finish nothing (the pool is only handed out between
+            # sweeps), so a non-waiting shutdown is safe.
+            existing.shutdown(wait=False)
+        if mode == "process":
+            pool: concurrent.futures.Executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            )
+        else:
+            pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        self._executors[mode] = pool
+        self._sizes[mode] = workers
+        self.created += 1
+        return pool
+
+    def size(self, mode: str) -> int:
+        """Worker count of the live pool of ``mode`` (0 when none exists)."""
+        return self._sizes.get(mode, 0)
+
+    def discard(self, mode: str) -> None:
+        """Drop the pool of ``mode`` (used after a pool breaks mid-run)."""
+        pool = self._executors.pop(mode, None)
+        self._sizes.pop(mode, None)
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False)
+            except Exception:  # pragma: no cover - broken pools may refuse
+                pass
+
+    def shutdown(self) -> None:
+        """Shut every pool down; the pool object is unusable afterwards."""
+        for mode in list(self._executors):
+            self.discard(mode)
+        self.closed = True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: pools created, reuses, live pools."""
+        return {
+            "created": self.created,
+            "reuse_count": self.reuse_count,
+            "alive": len(self._executors),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = {mode: self._sizes[mode] for mode in self._executors}
+        return f"WorkerPool(live={live}, created={self.created}, reuses={self.reuse_count})"

@@ -140,10 +140,22 @@ class SweepResult:
     Indexing and iteration yield the underlying
     :class:`ExperimentResult` objects in grid order (the cartesian product
     of the swept axes, last axis fastest).
+
+    ``meta`` carries run telemetry — notably ``meta["execution"]``, the
+    :class:`~repro.api.executor.ExecutionReport` of the sweep that produced
+    the results (mode, shards, sub-shards, worker reuse, store hits).  It
+    describes *how* the sweep ran, never *what* it computed: tables and
+    metrics are byte-identical across serial and parallel runs while their
+    ``meta`` legitimately differs, so parity checks compare
+    ``to_dict()["results"]`` (or :meth:`format`), not the full dictionary.
     """
 
     results: List[ExperimentResult] = field(default_factory=list)
     swept: List[str] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.meta = jsonify(dict(self.meta))
 
     def __len__(self) -> int:
         return len(self.results)
@@ -193,7 +205,19 @@ class SweepResult:
         return {
             "swept": list(self.swept),
             "results": [result.to_dict() for result in self.results],
+            "meta": dict(self.meta),
         }
+
+    def table_dict(self) -> Dict[str, Any]:
+        """The comparable payload: :meth:`to_dict` without ``meta``.
+
+        The one form parity checks compare — serial and parallel runs of
+        the same grid must produce equal ``table_dict()`` even though
+        their execution telemetry differs.
+        """
+        data = self.to_dict()
+        del data["meta"]
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -203,6 +227,7 @@ class SweepResult:
         return cls(
             results=[ExperimentResult.from_dict(r) for r in data.get("results", [])],
             swept=list(data.get("swept", [])),
+            meta=data.get("meta", {}),
         )
 
     @classmethod

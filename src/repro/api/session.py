@@ -21,6 +21,13 @@ from it:
   :class:`~repro.api.executor.SweepExecutor` and the disk-backed
   :class:`~repro.api.store.ResultStore`.
 
+Parallel sweeps run on the session's persistent
+:class:`~repro.api.pool.WorkerPool`: created lazily by the first sweep,
+reused by every later one, shut down by :meth:`Session.close` (sessions
+are context managers: ``with Session(jobs=4) as s: ...``) or at
+interpreter exit.  Each sweep's telemetry lands in
+``SweepResult.meta["execution"]`` and ``session.last_execution``.
+
 A process-wide default session is available via
 :func:`get_default_session`; the analysis harness and the CLI runner go
 through it so independent experiments share scene contexts and renderers
@@ -29,6 +36,7 @@ within one process.
 
 from __future__ import annotations
 
+import atexit
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -37,6 +45,7 @@ import numpy as np
 
 from repro.analysis.context import SceneContext, build_scene_context
 from repro.analysis.report import format_table
+from repro.api.pool import WorkerPool
 from repro.api.result import ExperimentResult, SweepResult
 from repro.api.spec import ACCELERATOR_ARCHS, ExperimentSpec, sweep
 from repro.api.store import ResultStore, resolve_store
@@ -110,6 +119,10 @@ class Session:
             raise ValueError("max_contexts must be positive")
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        #: Whether the session built its service (and may close it); a
+        #: service passed in — e.g. the process-wide default — is shared
+        #: state the session must not tear down.
+        self._owns_service = service is None
         self.service = service if service is not None else RenderService(max_renderers=max_renderers)
         self.seed = seed
         self.rng = np.random.default_rng(seed)
@@ -117,6 +130,10 @@ class Session:
         self.jobs = jobs
         self.store = resolve_store(store)
         self._contexts: "OrderedDict[Tuple, SceneContext]" = OrderedDict()
+        self._pool: Optional[WorkerPool] = None
+        #: :class:`~repro.api.executor.ExecutionReport` of the most recent
+        #: :meth:`run_sweep` (telemetry; also in ``SweepResult.meta``).
+        self.last_execution = None
         self.points_run = 0
         self.context_hits = 0
         self.context_misses = 0
@@ -239,6 +256,27 @@ class Session:
             config=spec.streaming_config(),
         )
 
+    def adopt_context(self, spec: ExperimentSpec, context: SceneContext) -> None:
+        """Seed the context cache with an externally built context.
+
+        The context-broadcast path of sub-shard execution: the sweep
+        executor builds a split shard's scene context once in the calling
+        session and every worker session adopts it (threads by reference,
+        processes as a pickled copy), so :meth:`spec_context` hits the
+        cache instead of re-rendering.  The caller vouches that ``context``
+        is the one ``spec`` would build.
+        """
+        key = (
+            spec.scene,
+            spec.algorithm,
+            spec.streaming_config(),
+            float(spec.resolution_scale),
+        )
+        self._contexts[key] = context
+        self._contexts.move_to_end(key)
+        while len(self._contexts) > self.max_contexts:
+            self._contexts.popitem(last=False)
+
     # ------------------------------------------------------------------
     # Experiments.
     # ------------------------------------------------------------------
@@ -336,13 +374,25 @@ class Session:
         :meth:`~repro.engine.service.RenderService.render_batch` — is built
         once even when the input interleaves contexts and the LRU cache is
         small.  Results come back in input order.
+
+        A point that raises is re-raised as a
+        :class:`~repro.api.executor.SpecEvaluationError` naming the
+        offending spec, so batch (and pool-worker) failures always say
+        which grid point died.
         """
-        from repro.api.executor import group_by_context
+        from repro.api.executor import SpecEvaluationError, group_by_context
 
         results: List[Optional[ExperimentResult]] = [None] * len(specs)
         for members in group_by_context(enumerate(specs)).values():
             for index, spec in members:
-                results[index] = self.run_point(spec)
+                try:
+                    results[index] = self.run_point(spec)
+                except SpecEvaluationError:
+                    raise
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as error:
+                    raise SpecEvaluationError(spec, error) from error
         return results  # type: ignore[return-value]
 
     def run_sweep(
@@ -374,7 +424,9 @@ class Session:
             store=store,
             seed=self.seed,
         )
-        return executor.run(specs, swept=swept, session=self)
+        result = executor.run(specs, swept=swept, session=self)
+        self.last_execution = executor.report
+        return result
 
     def sweep(
         self,
@@ -388,13 +440,58 @@ class Session:
         return self.run_sweep(sweep(base, **grid), swept=list(grid), jobs=jobs, cache=cache)
 
     # ------------------------------------------------------------------
+    # Worker-pool lifecycle.
+    # ------------------------------------------------------------------
+    def worker_pool(self) -> WorkerPool:
+        """The session's persistent :class:`~repro.api.pool.WorkerPool`.
+
+        Created lazily on the first parallel sweep and reused by every
+        later one (the sweep executor's ``worker_reuse`` counter tracks
+        this), so repeated ``run_sweep`` calls in one process pay worker
+        startup once.  Shut down by :meth:`close` — or at interpreter exit
+        via the ``atexit`` hook registered here, so forgotten sessions
+        never wedge shutdown.
+        """
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool()
+            atexit.register(self._pool.shutdown)
+        return self._pool
+
+    def close(self) -> None:
+        """Release everything the session holds.
+
+        Shuts the persistent worker pool down (and unregisters its atexit
+        hook), then drops cached contexts — and cached renderers too, but
+        only when the session built its own service: a shared service
+        (e.g. the process-wide default) belongs to every session using it
+        and is left untouched.  The session remains usable — the next
+        parallel sweep simply builds a fresh pool — so ``close()`` is safe
+        to call between phases of a long process to return memory and
+        worker processes.
+        """
+        if self._pool is not None:
+            atexit.unregister(self._pool.shutdown)
+            self._pool.shutdown()
+            self._pool = None
+        self._contexts.clear()
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Counter snapshot: points run, context cache, render service."""
+        """Counter snapshot: points run, context cache, pool, render service."""
         return {
             "points_run": self.points_run,
             "context_hits": self.context_hits,
             "context_misses": self.context_misses,
             "contexts_alive": len(self._contexts),
+            "pool": self._pool.stats() if self._pool is not None else None,
             "service": self.service.stats(),
         }
 

@@ -15,6 +15,7 @@ Fig. 12 / Fig. 13-style sensitivity studies are expressed.
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
@@ -181,6 +182,70 @@ class ExperimentSpec:
             "resolution_scale": self.resolution_scale,
             "tag": self.tag,
         }
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The spec reduced to what actually selects its evaluation point.
+
+        Two specs describing the same point must canonicalize identically,
+        so this drops overrides that restate a default — a config override
+        equal to the resolved base config (scene default voxel size +
+        compression axis) or an arch option equal to the arch variant's
+        default — and normalizes numeric override values to floats, so
+        ``tile_size=8`` and ``tile_size=8.0`` are one point.  ``tag`` is
+        kept: it is carried into the result's labels, so differently tagged
+        runs are distinct cacheable artifacts.  The result-store hash
+        (:func:`repro.api.store.spec_key`) is built on this form.
+        """
+
+        def normalize(value: Any) -> Any:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return value
+            return float(value)
+
+        base = StreamingConfig(
+            voxel_size=self.descriptor.default_voxel_size,
+            use_vq=self.compression == "vq",
+        )
+        config = {
+            key: normalize(value)
+            for key, value in self.config_overrides.items()
+            if getattr(base, key) != value
+        }
+        arch_options = self.arch_overrides
+        if self.arch in ACCELERATOR_ARCHS:
+            arch_base = AcceleratorConfig.variant(self.arch)
+            arch_options = {
+                key: normalize(value)
+                for key, value in arch_options.items()
+                if getattr(arch_base, key) != value
+            }
+        return {
+            "scene": self.scene,
+            "algorithm": self.algorithm,
+            "compression": self.compression,
+            "arch": self.arch,
+            "config": config,
+            "arch_options": arch_options,
+            "resolution_scale": float(self.resolution_scale),
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from its :meth:`to_dict` form (lossless)."""
+        known = {field.name for field in dataclass_fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown spec field(s) {unknown}; allowed: {sorted(known)}")
+        return cls(**{key: data[key] for key in data})
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON form; :meth:`from_json` reproduces the spec."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
 
 
 def _values_list(key: str, values: Any) -> List[Any]:

@@ -35,7 +35,9 @@ from repro.api.spec import ExperimentSpec
 
 #: Bump when the on-disk entry layout or the spec-hash inputs change; every
 #: existing entry becomes invisible (stale files are overwritten lazily).
-STORE_SCHEMA_VERSION = 1
+#: v2: keys hash :meth:`ExperimentSpec.canonical_dict` (default-equal
+#: overrides dropped, numerics normalized) instead of the raw ``to_dict``.
+STORE_SCHEMA_VERSION = 2
 
 
 def atomic_write_json(path: Union[str, Path], data: Any, indent: Optional[int] = 2) -> None:
@@ -79,15 +81,18 @@ def append_trajectory(path: Union[str, Path], entry: Dict[str, Any]) -> List[Dic
 def spec_key(spec: ExperimentSpec, version: Optional[str] = None) -> str:
     """The canonical content hash of one experiment spec.
 
-    Covers the spec's JSON form (sorted keys, so the ordering of override
-    dictionaries never changes the key), the store schema version and the
-    package version.  Two specs describing the same evaluation point always
-    hash identically; a schema or package version bump changes every key.
+    Covers the spec's canonical JSON form
+    (:meth:`~repro.api.spec.ExperimentSpec.canonical_dict`: sorted keys, so
+    override-dict ordering never matters; overrides that restate a default
+    dropped, so equivalent-default specs hash identically), the store
+    schema version and the package version.  Two specs describing the same
+    evaluation point always hash identically; a schema or package version
+    bump changes every key.
     """
     payload = {
         "schema": STORE_SCHEMA_VERSION,
         "version": version if version is not None else repro.__version__,
-        "spec": spec.to_dict(),
+        "spec": spec.canonical_dict(),
     }
     blob = json.dumps(jsonify(payload), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -124,13 +129,32 @@ class ResultStore:
         Version string folded into every key; defaults to the package
         version, so a release bump invalidates the whole store
         automatically.  Tests override it to exercise invalidation.
+    max_bytes:
+        Optional size cap on the entries' total on-disk bytes.  Every
+        :meth:`put` enforces it by evicting least-recently-used entries
+        (by file mtime — :meth:`get` touches entries it returns, so hits
+        refresh recency); ``None`` disables eviction.  :meth:`gc` runs the
+        same collection on demand.
     """
 
-    def __init__(self, root: Union[str, Path], version: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        version: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.root = Path(root)
         self.version = version if version is not None else repro.__version__
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evicted = 0
+        # Running estimate of the entries' total bytes, so capped puts only
+        # pay a full directory scan when the cap is plausibly crossed (gc
+        # recomputes it exactly).  None = not measured yet.
+        self._approx_bytes: Optional[int] = None
 
     # ------------------------------------------------------------------
     def key(self, spec: ExperimentSpec) -> str:
@@ -167,6 +191,10 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh recency so eviction is LRU, not FIFO
+        except OSError:  # pragma: no cover - entry raced away; still a hit
+            pass
         return result
 
     def put(self, spec: ExperimentSpec, result: ExperimentResult) -> Path:
@@ -182,7 +210,57 @@ class ResultStore:
                 "result": result.to_dict(),
             },
         )
+        if self.max_bytes is not None:
+            if self._approx_bytes is not None:
+                try:
+                    self._approx_bytes += path.stat().st_size
+                except OSError:  # pragma: no cover - raced away after write
+                    self._approx_bytes = None
+            if self._approx_bytes is None or self._approx_bytes > self.max_bytes:
+                self.gc(protect=path)
         return path
+
+    def gc(
+        self, max_bytes: Optional[int] = None, protect: Optional[Path] = None
+    ) -> Dict[str, int]:
+        """Evict least-recently-used entries until the store fits the cap.
+
+        ``max_bytes`` overrides the store's configured cap for this pass
+        (``None`` uses ``self.max_bytes``; a store without a cap collects
+        nothing).  ``protect`` names one entry that is never evicted — the
+        entry a :meth:`put` just wrote, so a cap smaller than a single
+        result still keeps the freshest one.  Returns a summary of the
+        collection: entries/bytes removed and entries/bytes remaining.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        summary = {"removed": 0, "removed_bytes": 0, "entries": 0, "bytes": 0}
+        entries = []
+        if self.root.exists():
+            for path in self.root.glob("*/*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:  # pragma: no cover - raced away mid-scan
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        if cap is not None:
+            for _, size, path in sorted(entries, key=lambda entry: entry[0]):
+                if total <= cap:
+                    break
+                if protect is not None and path == protect:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleanup is fine
+                    continue
+                total -= size
+                summary["removed"] += 1
+                summary["removed_bytes"] += size
+                self.evicted += 1
+        summary["entries"] = len(entries) - summary["removed"]
+        summary["bytes"] = total
+        self._approx_bytes = total
+        return summary
 
     def __contains__(self, spec: ExperimentSpec) -> bool:
         return self.path(spec).exists()
@@ -194,8 +272,13 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters and the number of entries on disk."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        """Hit/miss/eviction counters and the number of entries on disk."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evicted": self.evicted,
+            "entries": len(self),
+        }
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -94,6 +94,7 @@ class RenderService:
         self.requests_served = 0
         self.renderer_hits = 0
         self.renderer_misses = 0
+        self.peak_renderers = 0
 
     # ------------------------------------------------------------------
     def streaming_renderer(
@@ -121,6 +122,7 @@ class RenderService:
         self.renderer_misses += 1
         renderer = StreamingRenderer(model, config)
         self._renderers[key] = renderer
+        self.peak_renderers = max(self.peak_renderers, len(self._renderers))
         while len(self._renderers) > self.max_renderers:
             self._renderers.popitem(last=False)
         return renderer
@@ -217,11 +219,21 @@ class RenderService:
             "renderer_hits": self.renderer_hits,
             "renderer_misses": self.renderer_misses,
             "renderers_alive": len(self._renderers),
+            "peak_renderers": self.peak_renderers,
         }
 
     def clear(self) -> None:
         """Drop every cached renderer (counters are kept)."""
         self._renderers.clear()
+
+    def close(self) -> None:
+        """Release held state; alias of :meth:`clear` for lifecycle symmetry.
+
+        :meth:`Session.close` calls this so shutting a session down frees
+        renderer memory (voxel grids, layouts, codebooks) along with the
+        worker pool.
+        """
+        self.clear()
 
 
 _DEFAULT_SERVICE: Optional[RenderService] = None

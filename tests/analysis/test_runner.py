@@ -95,3 +95,83 @@ def test_cli_json_multiple_experiments_is_json_lines(capsys):
     assert main(["tab1", "engine", "--json"]) == 0
     lines = [line for line in capsys.readouterr().out.splitlines() if line]
     assert [json.loads(line)["name"] for line in lines] == ["tab1", "engine"]
+
+
+def test_route_options_global():
+    from repro.analysis.runner import route_options
+
+    routed = route_options({"scenes": ["lego"]}, ["fig2", "fig3"])
+    assert routed == {"fig2": {"scenes": ["lego"]}, "fig3": {"scenes": ["lego"]}}
+
+
+def test_route_options_per_experiment():
+    from repro.analysis.runner import route_options
+
+    routed = route_options(
+        {"fig12": {"voxel_sizes": [1.0]}}, ["fig12", "tab1"]
+    )
+    assert routed == {"fig12": {"voxel_sizes": [1.0]}, "tab1": {}}
+
+
+def test_route_options_empty_is_global():
+    from repro.analysis.runner import route_options
+
+    assert route_options({}, ["tab1"]) == {"tab1": {}}
+
+
+def test_cli_scheduled_multi_experiment(capsys):
+    # Two cheap experiments across a 2-worker pool: results must print in
+    # request order with the scheduler telemetry on stderr.
+    code = main(
+        [
+            "tab1",
+            "claims",
+            "--jobs",
+            "2",
+            "--json",
+            "--options",
+            '{"claims": {"scene": "lego"}}',
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    lines = [line for line in captured.out.splitlines() if line]
+    assert [json.loads(line)["name"] for line in lines] == ["tab1", "claims"]
+    assert "[scheduler] tab1:" in captured.err
+    assert "[scheduler] claims:" in captured.err
+    assert "worker_reuse=" in captured.err
+
+
+def test_cli_scheduled_rejected_options_is_clean_error(capsys):
+    code = main(
+        ["tab1", "claims", "--jobs", "2", "--options", '{"tab1": {"bogus": 1}}']
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "rejected --options" in captured.err
+
+
+def test_cli_single_experiment_keeps_sweep_level_jobs(capsys):
+    code = main(
+        [
+            "fig13",
+            "--jobs",
+            "2",
+            "--options",
+            '{"scene": "lego", "cfus": [1, 2, 3, 4], "ffus": [1, 2, 3, 4], '
+            '"resolution_scale": 0.5}',
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Fig. 13" in captured.out
+    assert "[execution] fig13:" in captured.err
+    assert "sub_shards=" in captured.err
+
+
+def test_cli_options_routed_to_unselected_experiment_is_clean_error(capsys):
+    code = main(["fig12", "--options", '{"fig13": {"cfus": [1]}}'])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "not" in captured.err and "fig13" in captured.err
+    assert captured.out == ""

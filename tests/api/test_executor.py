@@ -3,7 +3,13 @@
 import pytest
 
 from repro.api import ExperimentSpec, ResultStore, Session, SweepExecutor, sweep
-from repro.api.executor import PROCESS_MIN_SPECS, context_group_key
+from repro.api.executor import (
+    PROCESS_MIN_SPECS,
+    SHARD_SPLIT_THRESHOLD,
+    ShardUnit,
+    context_group_key,
+)
+
 
 #: Reduced evaluation resolution keeps each scene context cheap.
 SCALE = 0.5
@@ -97,14 +103,14 @@ class TestParallelEquality:
     def test_thread_pool_matches_serial(self, specs, serial):
         executor = SweepExecutor(jobs=2, mode="thread")
         result = executor.run(specs, swept=["voxel_size"])
-        assert result.to_dict() == serial.to_dict()
+        assert result.table_dict() == serial.table_dict()
         assert executor.report.mode == "thread"
         assert executor.report.shards == 2
 
     def test_process_pool_matches_serial(self, specs, serial):
         executor = SweepExecutor(jobs=2, mode="process")
         result = executor.run(specs, swept=["voxel_size"])
-        assert result.to_dict() == serial.to_dict()
+        assert result.table_dict() == serial.table_dict()
 
     def test_broken_process_pool_degrades_to_threads(self, specs, serial, monkeypatch):
         import concurrent.futures
@@ -126,7 +132,7 @@ class TestParallelEquality:
         monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", BrokenPool)
         executor = SweepExecutor(jobs=2, mode="process")
         result = executor.run(specs, swept=["voxel_size"])
-        assert result.to_dict() == serial.to_dict()
+        assert result.table_dict() == serial.table_dict()
         assert executor.report.mode == "thread"
 
     def test_merge_order_is_input_order(self, specs, serial):
@@ -143,14 +149,14 @@ class TestStoreIntegration:
         store = ResultStore(tmp_path / "cache")
         cold_executor = SweepExecutor(jobs=2, store=store)
         cold = cold_executor.run(specs, swept=["voxel_size"])
-        assert cold.to_dict() == serial.to_dict()
+        assert cold.table_dict() == serial.table_dict()
         assert cold_executor.report.cache_misses == len(specs)
         assert cold_executor.report.cache_hits == 0
         assert len(store) == len(specs)
 
         warm_session = Session(store=store)
         warm = warm_session.run_sweep(specs, swept=["voxel_size"], jobs=2)
-        assert warm.to_dict() == serial.to_dict()
+        assert warm.table_dict() == serial.table_dict()
         # Every point came from disk: no renders, no contexts built.
         assert warm_session.service.requests_served == 0
         assert warm_session.context_misses == 0
@@ -161,7 +167,7 @@ class TestStoreIntegration:
         store.put(specs[0], serial.results[0])
         executor = SweepExecutor(store=store)
         result = executor.run(specs, swept=["voxel_size"])
-        assert result.to_dict() == serial.to_dict()
+        assert result.table_dict() == serial.table_dict()
         assert executor.report.cache_hits == 1
         assert executor.report.cache_misses == len(specs) - 1
         assert len(store) == len(specs)
@@ -187,7 +193,7 @@ class TestSessionSweepParams:
             cache=tmp_path / "cache",
             voxel_size=(0.4, 0.8),
         )
-        assert result.to_dict() == serial.to_dict()
+        assert result.table_dict() == serial.table_dict()
 
     def test_cache_false_disables_session_store(self, tmp_path, specs):
         session = Session(store=tmp_path / "cache")
@@ -201,3 +207,115 @@ class TestSessionSweepParams:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
             Session(jobs=0)
+
+
+class TestShardSplitting:
+    def make_grid(self, n=32):
+        base = ExperimentSpec(scene="lego", resolution_scale=SCALE)
+        return sweep(
+            base, cfus_per_hfu=list(range(1, 9)), ffus_per_hfu=list(range(1, 5))
+        )[:n]
+
+    def test_split_produces_sub_shards_with_broadcast_flag(self):
+        executor = SweepExecutor(jobs=4)
+        members = list(enumerate(self.make_grid(32)))
+        units = executor.split([members])
+        assert len(units) == 4
+        assert all(unit.is_sub_shard for unit in units)
+        assert [len(unit.members) for unit in units] == [8, 8, 8, 8]
+        # Contiguous split: concatenation reproduces the original order.
+        flattened = [pair for unit in units for pair in unit.members]
+        assert flattened == members
+
+    def test_small_shards_are_not_split(self):
+        executor = SweepExecutor(jobs=4)
+        members = list(enumerate(self.make_grid(SHARD_SPLIT_THRESHOLD - 1)))
+        units = executor.split([members])
+        assert len(units) == 1
+        assert not units[0].is_sub_shard
+
+    def test_split_never_exceeds_jobs(self):
+        executor = SweepExecutor(jobs=2)
+        units = executor.split([list(enumerate(self.make_grid(32)))])
+        assert len(units) == 2
+
+    def test_split_disabled_by_zero_threshold(self):
+        executor = SweepExecutor(jobs=4, split_threshold=0)
+        units = executor.split([list(enumerate(self.make_grid(32)))])
+        assert len(units) == 1
+
+    def test_single_context_grid_fans_out(self):
+        """A fig13-shaped grid (one scene context, many cheap specs) must
+        not collapse onto one worker."""
+        specs = self.make_grid(32)
+        serial = Session().run_sweep(specs)
+        executor = SweepExecutor(jobs=2, mode="thread")
+        result = executor.run(specs)
+        assert result.table_dict() == serial.table_dict()
+        report = result.meta["execution"]
+        assert report["shards"] == 1
+        assert report["sub_shards"] >= 2
+        assert report["split_shards"] == 1
+        assert report["broadcast_contexts"] == 1
+        assert report["workers"] == 2
+
+    def test_broadcast_context_is_built_once_in_the_calling_session(self):
+        session = Session(jobs=2)
+        specs = self.make_grid(32)
+        session.run_sweep(specs)
+        # The split shard's context was built by the caller (broadcast),
+        # not once per sub-shard worker.
+        assert session.context_misses == 1
+        session.close()
+
+
+class TestPersistentPool:
+    def test_second_sweep_reuses_the_pool(self, specs, serial):
+        with Session(jobs=2) as session:
+            first = session.run_sweep(specs, swept=["voxel_size"])
+            assert first.meta["execution"]["pool"] == "persistent"
+            assert first.meta["execution"]["worker_reuse"] == 0
+            second = session.run_sweep(specs, swept=["voxel_size"])
+            assert second.meta["execution"]["worker_reuse"] >= 1
+            assert first.table_dict() == serial.table_dict()
+            assert second.table_dict() == serial.table_dict()
+            assert session.worker_pool().created == 1
+
+    def test_executor_without_session_uses_ephemeral_pool(self, specs):
+        executor = SweepExecutor(jobs=2, mode="thread")
+        result = executor.run(specs, swept=["voxel_size"])
+        assert result.meta["execution"]["pool"] == "ephemeral"
+
+    def test_serial_sweep_never_creates_a_pool(self, specs):
+        session = Session()
+        session.run_sweep(specs, swept=["voxel_size"])
+        assert session.stats()["pool"] is None
+
+
+class TestExecutionReport:
+    def test_report_reaches_sweep_meta(self, specs):
+        session = Session()
+        result = session.run_sweep(specs, swept=["voxel_size"])
+        report = result.meta["execution"]
+        assert report["mode"] == "serial"
+        assert report["specs"] == len(specs)
+        assert report["shards"] == 2
+        assert len(report["shard_times_s"]) == report["sub_shards"]
+        assert report["wall_time_s"] > 0
+        assert session.last_execution.to_dict() == report
+
+    def test_summary_line_is_greppable(self, specs):
+        session = Session()
+        session.run_sweep(specs, swept=["voxel_size"])
+        summary = session.last_execution.summary()
+        for token in ("mode=", "shards=", "sub_shards=", "pool=", "reuse=", "wall="):
+            assert token in summary
+
+    def test_store_counters_in_report(self, tmp_path, specs):
+        store = ResultStore(tmp_path / "cache")
+        session = Session(store=store)
+        cold = session.run_sweep(specs, swept=["voxel_size"])
+        warm = session.run_sweep(specs, swept=["voxel_size"])
+        assert cold.meta["execution"]["cache_misses"] == len(specs)
+        assert warm.meta["execution"]["cache_hits"] == len(specs)
+        assert warm.meta["execution"]["shards"] == 0

@@ -1,0 +1,202 @@
+"""Fault injection for the sweep executor.
+
+Every failure mode the scheduling layer promises to survive is simulated
+here: a worker raising mid-shard (the offending spec must be named), pool
+creation failing (graceful degradation process -> thread -> serial), a
+worker dying mid-run (degrade and recompute), and a persistent pool
+breaking (discarded, not reused).  After any failure the result store must
+hold no orphaned temporary files — atomic writes either land or vanish.
+"""
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    ResultStore,
+    Session,
+    SpecEvaluationError,
+    SweepExecutor,
+    sweep,
+)
+
+#: Reduced evaluation resolution keeps each scene context cheap.
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return sweep(
+        ExperimentSpec(scene="lego", resolution_scale=SCALE), voxel_size=(0.4, 0.8)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(specs):
+    return Session().run_sweep(specs, swept=["voxel_size"])
+
+
+@pytest.fixture
+def poisoned_run_point(monkeypatch):
+    """Make every spec tagged ``boom`` raise inside evaluation."""
+    original = Session.run_point
+
+    def run_point(self, spec):
+        if spec.tag == "boom":
+            raise ValueError("injected mid-shard failure")
+        return original(self, spec)
+
+    monkeypatch.setattr(Session, "run_point", run_point)
+
+
+
+class _DyingPool:
+    """A process pool whose futures fail like dead workers."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args, **kwargs):
+        future = concurrent.futures.Future()
+        future.set_exception(BrokenProcessPool("worker died mid-run"))
+        return future
+
+    def shutdown(self, wait=True, **kwargs):
+        pass
+
+
+class _UnbuildablePool:
+    """A pool class whose construction itself fails (rlimits, sandboxes)."""
+
+    def __init__(self, max_workers=None):
+        raise OSError("no more processes")
+
+
+class TestWorkerRaisesMidShard:
+    def test_serial_batch_names_the_offending_spec(self, poisoned_run_point):
+        session = Session()
+        good = ExperimentSpec(scene="lego", resolution_scale=SCALE)
+        bad = good.with_options(tag="boom")
+        with pytest.raises(SpecEvaluationError, match="boom") as excinfo:
+            session.run_many([good, bad])
+        assert excinfo.value.spec == bad
+        assert isinstance(excinfo.value.error, ValueError)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_pool_worker_failure_propagates_with_the_spec(
+        self, poisoned_run_point, specs
+    ):
+        grid = list(specs) + [
+            ExperimentSpec(scene="lego", resolution_scale=SCALE, tag="boom")
+        ]
+        executor = SweepExecutor(jobs=2, mode="thread")
+        with pytest.raises(SpecEvaluationError, match="boom"):
+            executor.run(grid)
+
+    def test_spec_errors_are_not_mistaken_for_pool_failures(
+        self, poisoned_run_point, specs
+    ):
+        """A ValueError from user code must not trigger thread degradation
+        (which would re-run the failing grid and raise late)."""
+        grid = list(specs) + [
+            ExperimentSpec(scene="lego", resolution_scale=SCALE, tag="boom")
+        ]
+        executor = SweepExecutor(jobs=2, mode="thread")
+        with pytest.raises(SpecEvaluationError):
+            executor.run(grid)
+        assert executor.report.mode == "thread"  # never degraded
+
+    def test_failed_sweep_leaves_no_orphaned_store_files(
+        self, poisoned_run_point, specs, tmp_path
+    ):
+        store = ResultStore(tmp_path / "cache")
+        grid = list(specs) + [
+            ExperimentSpec(scene="lego", resolution_scale=SCALE, tag="boom")
+        ]
+        executor = SweepExecutor(jobs=2, mode="thread", store=store)
+        with pytest.raises(SpecEvaluationError):
+            executor.run(grid)
+        # Atomic writes either landed or vanished; nothing half-written.
+        assert list((tmp_path / "cache").rglob("*.tmp*")) == []
+        # Store writes are all-or-nothing per sweep: the failing sweep
+        # persisted nothing, so a retry recomputes from scratch.
+        assert len(store) == 0
+
+
+class TestPoolCreationFailure:
+    def test_process_pool_failure_degrades_to_threads(
+        self, specs, serial, monkeypatch
+    ):
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _UnbuildablePool
+        )
+        executor = SweepExecutor(jobs=2, mode="process")
+        result = executor.run(specs, swept=["voxel_size"])
+        assert result.table_dict() == serial.table_dict()
+        assert executor.report.mode == "thread"
+
+    def test_total_pool_failure_degrades_to_serial(self, specs, serial, monkeypatch):
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _UnbuildablePool
+        )
+        monkeypatch.setattr(
+            concurrent.futures, "ThreadPoolExecutor", _UnbuildablePool
+        )
+        executor = SweepExecutor(jobs=2, mode="process")
+        result = executor.run(specs, swept=["voxel_size"])
+        assert result.table_dict() == serial.table_dict()
+        assert executor.report.mode == "serial"
+        assert executor.report.pool == "none"
+
+    def test_session_pool_failure_also_reaches_serial(
+        self, specs, serial, monkeypatch
+    ):
+        """The persistent-pool path degrades exactly like the ephemeral one."""
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _UnbuildablePool
+        )
+        monkeypatch.setattr(
+            concurrent.futures, "ThreadPoolExecutor", _UnbuildablePool
+        )
+        with Session(jobs=2) as session:
+            result = session.run_sweep(specs, swept=["voxel_size"])
+            assert result.table_dict() == serial.table_dict()
+            assert session.last_execution.mode == "serial"
+
+
+class TestWorkerDeath:
+    def test_dying_workers_degrade_to_threads_and_recompute(
+        self, specs, serial, monkeypatch
+    ):
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", _DyingPool)
+        executor = SweepExecutor(jobs=2, mode="process")
+        result = executor.run(specs, swept=["voxel_size"])
+        assert result.table_dict() == serial.table_dict()
+        assert executor.report.mode == "thread"
+
+    def test_broken_persistent_pool_is_discarded(self, serial, monkeypatch):
+        # A fig13-shaped grid large enough to pick process mode.
+        grid = sweep(
+            ExperimentSpec(scene="lego", resolution_scale=SCALE),
+            cfus_per_hfu=(1, 2, 3, 4),
+            ffus_per_hfu=(1, 2),
+        )
+        with Session(jobs=2) as session:
+            with monkeypatch.context() as patched:
+                patched.setattr(
+                    concurrent.futures, "ProcessPoolExecutor", _DyingPool
+                )
+                session.run_sweep(grid)
+            assert session.last_execution.mode == "thread"
+            pool = session.worker_pool()
+            # The broken process pool was discarded, the thread pool kept.
+            assert pool.size("process") == 0
+            assert pool.size("thread") >= 1

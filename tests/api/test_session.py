@@ -138,6 +138,52 @@ class TestRegistryRuns:
             session.run("tab1", cfus_per_hfu=4)
 
 
+class TestLifecycle:
+    def test_worker_pool_is_lazy_and_shared(self):
+        session = Session()
+        assert session.stats()["pool"] is None
+        pool = session.worker_pool()
+        assert session.worker_pool() is pool
+        session.close()
+
+    def test_close_shuts_the_pool_down(self):
+        session = Session()
+        pool = session.worker_pool()
+        executor = pool.executor("thread", 2)
+        assert executor.submit(int, "7").result() == 7
+        session.close()
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.executor("thread", 2)
+
+    def test_close_drops_contexts_and_renderers(self):
+        session = Session()
+        session.context("lego", resolution_scale=SCALE)
+        assert session.stats()["contexts_alive"] == 1
+        session.close()
+        assert session.stats()["contexts_alive"] == 0
+        assert session.stats()["service"]["renderers_alive"] == 0
+
+    def test_closed_session_remains_usable(self):
+        session = Session()
+        session.close()
+        fresh = session.worker_pool()
+        assert not fresh.closed
+        session.close()
+
+    def test_context_manager_closes(self):
+        with Session() as session:
+            pool = session.worker_pool()
+        assert pool.closed
+
+    def test_adopt_context_feeds_spec_context(self, session, lego_spec):
+        donor = session.spec_context(lego_spec)
+        other = Session()
+        other.adopt_context(lego_spec, donor)
+        assert other.spec_context(lego_spec) is donor
+        assert other.context_misses == 0
+
+
 class TestDefaultSession:
     def test_default_session_is_shared_and_resettable(self):
         reset_default_session()

@@ -65,7 +65,7 @@ class TestResultStore:
         assert spec in store
         restored = store.get(spec)
         assert restored.to_dict() == result.to_dict()
-        assert store.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert store.stats() == {"hits": 1, "misses": 1, "evicted": 0, "entries": 1}
 
     def test_version_bump_invalidates(self, tmp_path):
         spec = ExperimentSpec(scene="lego")
@@ -112,6 +112,81 @@ class TestResultStore:
         assert len(store) == 2
         assert store.clear() == 2
         assert len(store) == 0
+
+
+class TestEviction:
+    def fill(self, store, count, start=0):
+        specs = []
+        for i in range(count):
+            spec = ExperimentSpec(scene="lego", tag=f"entry-{start + i}")
+            store.put(spec, make_result(float(i)))
+            specs.append(spec)
+        return specs
+
+    def entry_bytes(self, tmp_path):
+        probe = ResultStore(tmp_path / "probe")
+        path = probe.put(ExperimentSpec(scene="lego", tag="probe"), make_result())
+        return path.stat().st_size
+
+    def test_put_enforces_the_size_cap(self, tmp_path):
+        size = self.entry_bytes(tmp_path)
+        store = ResultStore(tmp_path / "cache", max_bytes=3 * size + size // 2)
+        self.fill(store, 6)
+        assert len(store) <= 3
+        total = sum(p.stat().st_size for p in (tmp_path / "cache").glob("*/*.json"))
+        assert total <= store.max_bytes
+
+    def test_eviction_is_lru_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        size = self.entry_bytes(tmp_path)
+        store = ResultStore(tmp_path / "cache", max_bytes=2 * size + size // 2)
+        first, second = self.fill(store, 2)
+        # Age the first entry, then refresh it with a hit; the *second*
+        # entry is now least recently used and must be the one evicted.
+        stale = time.time() - 3600
+        os.utime(store.path(first), (stale, stale))
+        os.utime(store.path(second), (stale + 1, stale + 1))
+        assert store.get(first) is not None  # touch refreshes recency
+        (third,) = self.fill(store, 1, start=2)
+        assert store.get(second) is None  # evicted -> miss
+        assert store.get(first) is not None
+        assert store.get(third) is not None
+        assert store.evicted == 1
+
+    def test_evicted_entry_recomputes_and_restores(self, tmp_path):
+        import os
+        import time
+
+        size = self.entry_bytes(tmp_path)
+        store = ResultStore(tmp_path / "cache", max_bytes=size + size // 2)
+        first, = self.fill(store, 1)
+        stale = time.time() - 3600
+        os.utime(store.path(first), (stale, stale))
+        self.fill(store, 1, start=1)
+        assert store.get(first) is None  # hit behaviour after eviction: miss
+        store.put(first, make_result(9.0))  # recompute path re-populates
+        assert store.get(first).metrics["speedup"] == 9.0
+
+    def test_gc_on_demand_with_explicit_cap(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")  # no cap configured
+        self.fill(store, 4)
+        assert store.gc()["removed"] == 0  # capless gc collects nothing
+        summary = store.gc(max_bytes=0)
+        assert summary["removed"] == 4
+        assert summary["entries"] == 0
+        assert len(store) == 0
+
+    def test_put_never_evicts_the_entry_it_just_wrote(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", max_bytes=1)  # below one entry
+        spec = ExperimentSpec(scene="lego", tag="only")
+        store.put(spec, make_result())
+        assert store.get(spec) is not None
+
+    def test_negative_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultStore(tmp_path, max_bytes=-1)
 
 
 class TestResolveStore:
