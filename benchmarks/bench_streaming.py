@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Streaming render-path micro-benchmark.
+
+Times the memory-centric streaming render of a seeded synthetic scene under
+the voxel-at-a-time reference loop and the batched/vectorized fast path
+(``StreamingConfig.streaming_kernel``), verifies the images agree within
+1e-9 and the workload statistics are exactly equal, and appends the result
+to the ``BENCH_streaming.json`` trajectory next to this script::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py
+    PYTHONPATH=src python benchmarks/bench_streaming.py --check   # assert >= 3x
+
+``--check`` exits non-zero when the vectorized streaming path is less than
+the required speedup over the reference loop, the images disagree, or any
+statistic differs, which makes the script usable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.api.store import append_trajectory
+from repro.engine.bench import run_streaming_benchmark
+
+#: Acceptance bar: vectorized streaming-path speedup over the reference loop.
+REQUIRED_SPEEDUP = 3.0
+
+#: Acceptance bar: maximum image deviation between the paths.
+REQUIRED_ATOL = 1e-9
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--gaussians", type=int, default=6000)
+    parser.add_argument("--width", type=int, default=160)
+    parser.add_argument("--height", type=int, default=120)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--voxel-size",
+        type=float,
+        default=0.5,
+        help="streaming voxel size of the benchmark scene",
+    )
+    parser.add_argument(
+        "--tile-workers",
+        type=int,
+        default=0,
+        help="additionally time the vectorized path with this many parallel "
+        "tile workers (reported in the trajectory, not gated)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless speedup >= --min-speedup, images agree and "
+        "statistics are exactly equal",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=REQUIRED_SPEEDUP,
+        help=f"speedup bar for --check (default {REQUIRED_SPEEDUP}x; use a "
+        "looser bar on noisy shared runners)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=TRAJECTORY_PATH,
+        help="trajectory file to append the result to",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_streaming_benchmark(
+        num_gaussians=args.gaussians,
+        width=args.width,
+        height=args.height,
+        repeats=args.repeats,
+        seed=args.seed,
+        voxel_size=args.voxel_size,
+        tile_workers=args.tile_workers,
+    )
+    print(result.format())
+
+    entry = result.as_dict()
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    # Atomic write-temp-then-rename append: concurrent or interrupted CI
+    # jobs cannot truncate the trajectory.
+    append_trajectory(args.output, entry)
+    print(f"appended trajectory entry to {args.output}")
+
+    if args.check:
+        if not result.stats_equal:
+            print(
+                f"FAIL: streaming statistics differ ({result.stats_detail})",
+                file=sys.stderr,
+            )
+            return 1
+        if result.max_image_delta > REQUIRED_ATOL:
+            print(
+                f"FAIL: render paths disagree (max delta {result.max_image_delta:.3g} "
+                f"> {REQUIRED_ATOL})",
+                file=sys.stderr,
+            )
+            return 1
+        if result.speedup < args.min_speedup:
+            print(
+                f"FAIL: speedup {result.speedup:.2f}x < {args.min_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: speedup {result.speedup:.2f}x >= {args.min_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,12 @@ experiment instead — ``'{"fig12": {"voxel_sizes": [1.0]}, "fig13":
 {"cfus": [1, 2]}}'`` — which is how a multi-experiment invocation mixes
 builders with different signatures.
 
+``--telemetry-json PATH`` dumps what a run actually did — each sweep's
+:class:`~repro.api.executor.ExecutionReport`, the scheduler report of a
+multi-experiment ``--jobs`` run, session / render-service counters (frame
+telemetry, renderer-cache behaviour) and result-store statistics — as one
+JSON object for dashboards.
+
 With ``--jobs N`` and more than one experiment (``runner all --jobs 4``),
 whole experiments are scheduled across a process pool
 (:func:`repro.api.executor.schedule_experiments`): dispatch is
@@ -181,6 +187,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="JSON object of keyword arguments forwarded to every named "
         "experiment's builder, e.g. '{\"voxel_sizes\": [1.0, 2.0]}'",
     )
+    parser.add_argument(
+        "--telemetry-json",
+        default=None,
+        metavar="PATH",
+        help="dump execution telemetry as one JSON object to PATH "
+        "(keys: experiments, scheduler, session, store). Serial runs "
+        "record per-experiment ExecutionReports and session/render-service "
+        "counters; scheduled multi-experiment --jobs runs record the "
+        "scheduler report with per-experiment wall times",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -232,6 +248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     previous = (session.jobs, session.store)
     session.jobs, session.store = args.jobs, store
     last_report = session.last_execution
+    execution_reports: Dict[str, Any] = {}
     try:
         for name in names:
             kwargs = options_for[name]
@@ -252,14 +269,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(result.format())
                 print()
             # Sweep-shaped experiments leave their ExecutionReport on the
-            # session; surface it whenever parallelism or the store is on.
+            # session; record it per experiment and surface it whenever
+            # parallelism or the store is on.
             if (
-                (args.jobs > 1 or store is not None)
-                and session.last_execution is not None
+                session.last_execution is not None
                 and session.last_execution is not last_report
             ):
                 last_report = session.last_execution
-                print(f"[execution] {name}: {last_report.summary()}", file=sys.stderr)
+                execution_reports[name] = last_report.to_dict()
+                if args.jobs > 1 or store is not None:
+                    print(
+                        f"[execution] {name}: {last_report.summary()}",
+                        file=sys.stderr,
+                    )
     finally:
         session.jobs, session.store = previous
     if store is not None:
@@ -268,7 +290,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"entries={len(store)} dir={store.root}",
             file=sys.stderr,
         )
+    if args.telemetry_json:
+        _write_telemetry(
+            args.telemetry_json,
+            {
+                "experiments": execution_reports,
+                "scheduler": None,
+                "session": session.stats(),
+                "store": store.stats() if store is not None else None,
+            },
+        )
     return 0
+
+
+def _write_telemetry(path: str, payload: Dict[str, Any]) -> None:
+    """Dump one telemetry JSON object atomically and note it on stderr."""
+    from repro.api.store import atomic_write_json
+
+    atomic_write_json(path, payload)
+    print(f"[telemetry] wrote {path}", file=sys.stderr)
 
 
 def _main_scheduled(names, args, options_for, store) -> int:
@@ -303,6 +343,22 @@ def _main_scheduled(names, args, options_for, store) -> int:
             f"[result-store] hits={report.store_hits} misses={report.store_misses} "
             f"entries={len(store)} dir={store.root}",
             file=sys.stderr,
+        )
+    if args.telemetry_json:
+        # Scheduled experiments evaluate in worker processes, so their
+        # sweep-level ExecutionReports (and the parent session's counters)
+        # are not observable here; the per-experiment wall times live in
+        # the scheduler report's ``elapsed_s``.
+        _write_telemetry(
+            args.telemetry_json,
+            {
+                "experiments": {
+                    name: {"elapsed_s": report.elapsed_s[name]} for name in names
+                },
+                "scheduler": report.to_dict(),
+                "session": None,
+                "store": store.stats() if store is not None else None,
+            },
         )
     return 0
 

@@ -78,12 +78,39 @@ EXECUTOR_MODES = ("auto", "serial", "thread", "process")
 PROCESS_MIN_SPECS = 6
 
 #: Shards with at least this many specs are split into sub-shards that
-#: share one broadcast scene context.
+#: share one broadcast scene context (the static default; sessions adapt
+#: it from observed per-spec cost, see :func:`adaptive_split_threshold`).
 SHARD_SPLIT_THRESHOLD = 8
 
 #: A split never produces sub-shards smaller than this — below it the
 #: dispatch overhead outweighs the per-spec work.
 SUB_SHARD_MIN_SPECS = 4
+
+#: A shard is worth splitting when its estimated evaluation time crosses
+#: this, so the adaptive threshold is ~this many seconds of observed
+#: per-spec cost.
+SPLIT_MIN_SHARD_SECONDS = 0.25
+
+
+def adaptive_split_threshold(per_spec_seconds: Optional[float]) -> int:
+    """Shard-split threshold seeded from observed per-spec evaluation cost.
+
+    The static cutoff (:data:`SHARD_SPLIT_THRESHOLD` specs) under-splits
+    grids of expensive points: a 6-spec shard of 2-second evaluations is
+    12 seconds of serial work that five idle workers could share.  Given
+    the mean per-spec seconds observed in a previous run
+    (:attr:`ExecutionReport.shard_times_s` over its cache misses), the
+    threshold becomes the spec count at which a shard crosses
+    :data:`SPLIT_MIN_SHARD_SECONDS` of estimated work — clamped to
+    ``[SUB_SHARD_MIN_SPECS, SHARD_SPLIT_THRESHOLD]`` so cheap grids never
+    split below the dispatch-overhead floor and the policy is never more
+    conservative than the static default.  ``None`` (nothing observed
+    yet) returns the static default.
+    """
+    if per_spec_seconds is None or per_spec_seconds <= 0.0:
+        return SHARD_SPLIT_THRESHOLD
+    threshold = math.ceil(SPLIT_MIN_SHARD_SECONDS / per_spec_seconds)
+    return max(SUB_SHARD_MIN_SPECS, min(SHARD_SPLIT_THRESHOLD, threshold))
 
 #: Pool-level failures that trigger graceful degradation to a cheaper
 #: mode.  ``RuntimeError`` covers thread-spawn exhaustion; user errors are
@@ -223,6 +250,19 @@ class ExecutionReport:
     pool: str = "none"
     worker_reuse: int = 0
     wall_time_s: float = 0.0
+    split_threshold: int = SHARD_SPLIT_THRESHOLD
+
+    @property
+    def per_spec_seconds(self) -> Optional[float]:
+        """Mean observed evaluation seconds per rendered (non-cached) spec.
+
+        The signal the adaptive split policy feeds on; ``None`` when the
+        run evaluated nothing (every point was a store hit) or recorded no
+        unit timings.
+        """
+        if self.cache_misses <= 0 or not self.shard_times_s:
+            return None
+        return sum(self.shard_times_s) / self.cache_misses
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native form (stored in ``SweepResult.meta["execution"]``)."""
@@ -232,6 +272,7 @@ class ExecutionReport:
             "shards": self.shards,
             "sub_shards": self.sub_shards,
             "split_shards": self.split_shards,
+            "split_threshold": self.split_threshold,
             "broadcast_contexts": self.broadcast_contexts,
             "specs": self.specs,
             "cache_hits": self.cache_hits,
@@ -276,7 +317,9 @@ class SweepExecutor:
         Seed of the private worker sessions.
     split_threshold:
         Shards with at least this many specs are split into sub-shards
-        sharing a broadcast context (0 disables splitting).
+        sharing a broadcast context (0 disables splitting).  Sessions pass
+        an adaptive value derived from observed per-spec cost
+        (:func:`adaptive_split_threshold`).
     """
 
     def __init__(
@@ -362,7 +405,9 @@ class SweepExecutor:
         started = time.perf_counter()
         specs = list(specs)
         results: List[Optional[ExperimentResult]] = [None] * len(specs)
-        self.report = ExecutionReport(jobs=self.jobs, specs=len(specs))
+        self.report = ExecutionReport(
+            jobs=self.jobs, specs=len(specs), split_threshold=self.split_threshold
+        )
 
         pending: List[Tuple[int, ExperimentSpec]] = []
         for index, spec in enumerate(specs):

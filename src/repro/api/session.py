@@ -423,10 +423,28 @@ class Session:
             jobs=self.jobs if jobs is None else jobs,
             store=store,
             seed=self.seed,
+            split_threshold=self.split_threshold(),
         )
         result = executor.run(specs, swept=swept, session=self)
         self.last_execution = executor.report
         return result
+
+    def split_threshold(self) -> int:
+        """The shard-split threshold the next sweep will run with.
+
+        Adaptive: seeded from the mean per-spec evaluation seconds the
+        previous sweep observed (``last_execution.shard_times_s``), so
+        grids of expensive points split earlier than the static default
+        while cheap grids keep the overhead floor — see
+        :func:`repro.api.executor.adaptive_split_threshold`.  Splitting
+        only changes scheduling, never results (parallel output stays
+        byte-identical to serial).
+        """
+        from repro.api.executor import adaptive_split_threshold
+
+        report = self.last_execution
+        observed = report.per_spec_seconds if report is not None else None
+        return adaptive_split_threshold(observed)
 
     def sweep(
         self,

@@ -23,11 +23,17 @@ concurrent or interrupted writers cannot truncate a file mid-read.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+try:  # advisory cross-process locking; POSIX only
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import repro
 from repro.api.result import ExperimentResult, jsonify
@@ -38,6 +44,30 @@ from repro.api.spec import ExperimentSpec
 #: v2: keys hash :meth:`ExperimentSpec.canonical_dict` (default-equal
 #: overrides dropped, numerics normalized) instead of the raw ``to_dict``.
 STORE_SCHEMA_VERSION = 2
+
+
+@contextlib.contextmanager
+def advisory_file_lock(path: Union[str, Path]) -> Iterator[None]:
+    """Exclusive cross-process advisory lock on ``path`` (``flock``).
+
+    Serializes writers that share one store directory — e.g. concurrent
+    ``runner all --jobs N`` worker processes putting results into the same
+    cache — so a put and the eviction scan it may trigger never interleave
+    with another process's.  The lock is *advisory* (readers never take
+    it; entry reads stay lock-free because writes are already atomic) and
+    degrades to a no-op where ``fcntl`` is unavailable.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 
 def atomic_write_json(path: Union[str, Path], data: Any, indent: Optional[int] = 2) -> None:
@@ -197,27 +227,39 @@ class ResultStore:
             pass
         return result
 
+    @property
+    def lock_path(self) -> Path:
+        """The advisory lock file serializing writers of this store."""
+        return self.root / ".lock"
+
     def put(self, spec: ExperimentSpec, result: ExperimentResult) -> Path:
-        """Persist one result under its spec's key (atomic write)."""
+        """Persist one result under its spec's key (atomic write).
+
+        Writers take the store's advisory file lock
+        (:func:`advisory_file_lock`), so concurrent processes sharing the
+        directory — sharded sweep workers, ``runner all --jobs N`` — never
+        interleave a put with another writer's eviction pass.
+        """
         path = self.path(spec)
-        atomic_write_json(
-            path,
-            {
-                "key": self.key(spec),
-                "schema": STORE_SCHEMA_VERSION,
-                "version": self.version,
-                "spec": spec.to_dict(),
-                "result": result.to_dict(),
-            },
-        )
-        if self.max_bytes is not None:
-            if self._approx_bytes is not None:
-                try:
-                    self._approx_bytes += path.stat().st_size
-                except OSError:  # pragma: no cover - raced away after write
-                    self._approx_bytes = None
-            if self._approx_bytes is None or self._approx_bytes > self.max_bytes:
-                self.gc(protect=path)
+        with advisory_file_lock(self.lock_path):
+            atomic_write_json(
+                path,
+                {
+                    "key": self.key(spec),
+                    "schema": STORE_SCHEMA_VERSION,
+                    "version": self.version,
+                    "spec": spec.to_dict(),
+                    "result": result.to_dict(),
+                },
+            )
+            if self.max_bytes is not None:
+                if self._approx_bytes is not None:
+                    try:
+                        self._approx_bytes += path.stat().st_size
+                    except OSError:  # pragma: no cover - raced away after write
+                        self._approx_bytes = None
+                if self._approx_bytes is None or self._approx_bytes > self.max_bytes:
+                    self._collect(protect=path)
         return path
 
     def gc(
@@ -232,6 +274,13 @@ class ResultStore:
         result still keeps the freshest one.  Returns a summary of the
         collection: entries/bytes removed and entries/bytes remaining.
         """
+        with advisory_file_lock(self.lock_path):
+            return self._collect(max_bytes=max_bytes, protect=protect)
+
+    def _collect(
+        self, max_bytes: Optional[int] = None, protect: Optional[Path] = None
+    ) -> Dict[str, int]:
+        """Eviction pass body; callers hold the advisory lock."""
         cap = self.max_bytes if max_bytes is None else max_bytes
         summary = {"removed": 0, "removed_bytes": 0, "entries": 0, "bytes": 0}
         entries = []

@@ -168,6 +168,37 @@ class DataLayout:
             ),
         )
 
+    def voxel_stream_traffic_batch(
+        self, voxel_ids: np.ndarray, coarse_passed: np.ndarray
+    ) -> LayoutTraffic:
+        """Aggregate traffic of streaming many voxels for one tile.
+
+        Exactly the merge of per-voxel :meth:`voxel_stream_traffic` calls —
+        the per-voxel burst rounding happens element-wise before the sum,
+        so the accounting is identical to the serial loop's.
+        """
+        voxel_ids = np.asarray(voxel_ids, dtype=np.int64)
+        coarse_passed = np.asarray(coarse_passed, dtype=np.int64)
+        if len(voxel_ids) == 0:
+            return LayoutTraffic()
+        counts = self.grid.voxel_counts[voxel_ids]
+        if np.any(coarse_passed < 0) or np.any(coarse_passed > counts):
+            raise ValueError("coarse_passed must be in [0, voxel population]")
+        first = (
+            np.ceil(counts * self.first_half_bytes_per_gaussian / DRAM_BURST_BYTES)
+            .astype(np.int64)
+            * DRAM_BURST_BYTES
+        )
+        second = (
+            np.ceil(
+                coarse_passed * self.second_half_bytes_per_gaussian / DRAM_BURST_BYTES
+            ).astype(np.int64)
+            * DRAM_BURST_BYTES
+        )
+        return LayoutTraffic(
+            first_half_bytes=int(first.sum()), second_half_bytes=int(second.sum())
+        )
+
     @staticmethod
     def pixel_write_traffic(num_pixels: int) -> LayoutTraffic:
         """Traffic of writing final pixel values for ``num_pixels`` pixels."""

@@ -20,7 +20,7 @@ and traffic models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,6 +107,72 @@ class FilterResult:
     indices: np.ndarray                    # model indices that passed both phases
     projected: ProjectedGaussians          # precise projection of the survivors
     stats: FilterStats = field(default_factory=FilterStats)
+
+
+@dataclass
+class BatchedFilterResult:
+    """Outcome of filtering *all* voxels of one tile in one batched pass.
+
+    Survivors of every voxel are concatenated in voxel-stream order
+    (``segment_ids`` maps each survivor row to its position in the input
+    voxel list); the per-voxel accounting is held as parallel arrays so the
+    pipeline can accumulate statistics for exactly the voxel prefix the
+    reference loop would have processed before early termination.
+    """
+
+    #: (S,) model indices of the survivors, concatenated voxel by voxel.
+    indices: np.ndarray
+    #: Precise projection of the survivors (rows parallel to ``indices``).
+    projected: ProjectedGaussians
+    #: (S,) position of each survivor's voxel in the input voxel list.
+    segment_ids: np.ndarray
+    #: (V,) per-voxel accounting, parallel to the input voxel list.
+    gaussians_in: np.ndarray
+    coarse_tested: np.ndarray
+    coarse_passed: np.ndarray
+    fine_tested: np.ndarray
+    fine_passed: np.ndarray
+
+    @property
+    def num_voxels(self) -> int:
+        return len(self.gaussians_in)
+
+    @property
+    def survivor_counts(self) -> np.ndarray:
+        """Alias of ``fine_passed``: survivors per voxel."""
+        return self.fine_passed
+
+    def prefix_stats(self, num_voxels: int) -> FilterStats:
+        """Accumulated :class:`FilterStats` of the first ``num_voxels`` voxels.
+
+        Identical to merging the serial loop's per-voxel stats over the
+        same prefix — every field is an integer sum, so the accumulation is
+        exact and associative.
+        """
+        k = num_voxels
+        coarse_tested = int(self.coarse_tested[:k].sum())
+        fine_tested = int(self.fine_tested[:k].sum())
+        return FilterStats(
+            gaussians_in=int(self.gaussians_in[:k].sum()),
+            coarse_tested=coarse_tested,
+            coarse_passed=int(self.coarse_passed[:k].sum()),
+            fine_tested=fine_tested,
+            fine_passed=int(self.fine_passed[:k].sum()),
+            coarse_macs=COARSE_FILTER_MACS * coarse_tested,
+            fine_macs=FINE_FILTER_MACS * fine_tested,
+        )
+
+    def voxel_stats(self, voxel: int) -> FilterStats:
+        """The :class:`FilterStats` one serial ``filter_voxel`` call would report."""
+        return FilterStats(
+            gaussians_in=int(self.gaussians_in[voxel]),
+            coarse_tested=int(self.coarse_tested[voxel]),
+            coarse_passed=int(self.coarse_passed[voxel]),
+            fine_tested=int(self.fine_tested[voxel]),
+            fine_passed=int(self.fine_passed[voxel]),
+            coarse_macs=COARSE_FILTER_MACS * int(self.coarse_tested[voxel]),
+            fine_macs=FINE_FILTER_MACS * int(self.fine_tested[voxel]),
+        )
 
 
 class HierarchicalFilter:
@@ -197,6 +263,93 @@ class HierarchicalFilter:
         )
         return FilterResult(
             indices=survivors, projected=projected_survivors, stats=stats
+        )
+
+    # ------------------------------------------------------------------
+    def filter_voxel_batch(
+        self,
+        model: GaussianModel,
+        voxel_lists: Sequence[np.ndarray],
+        camera: Camera,
+        tile_bounds: Tuple[int, int, int, int],
+    ) -> BatchedFilterResult:
+        """Filter many voxels' Gaussians against one tile in one pass.
+
+        Equivalent to calling :meth:`filter_voxel` once per entry of
+        ``voxel_lists`` (the per-voxel survivor sets, projections and
+        statistics are identical), but the coarse AABB rejection runs over
+        the concatenation of every voxel's candidates in a single NumPy
+        pass and the fine phase projects only the compacted coarse
+        survivors in one call — the per-voxel Python and small-array
+        overhead of the serial loop is gone.
+        """
+        num_voxels = len(voxel_lists)
+        counts = np.array([len(voxel) for voxel in voxel_lists], dtype=np.int64)
+        if num_voxels and counts.sum():
+            candidates = np.concatenate(
+                [np.asarray(voxel, dtype=np.int64) for voxel in voxel_lists]
+            )
+        else:
+            candidates = np.zeros(0, dtype=np.int64)
+        segments = np.repeat(np.arange(num_voxels, dtype=np.int64), counts)
+
+        if self.use_coarse_filter and len(candidates):
+            means2d, depths, coarse_radii = coarse_project_centers(
+                model.positions[candidates],
+                model.max_scales[candidates],
+                camera,
+            )
+            passed = _overlaps_tile(
+                means2d, coarse_radii, depths, tile_bounds, camera.near
+            )
+            coarse_tested = counts.copy()
+            coarse_passed = np.bincount(
+                segments[passed], minlength=num_voxels
+            ).astype(np.int64)
+            candidates = candidates[passed]
+            segments = segments[passed]
+        elif self.use_coarse_filter:
+            coarse_tested = counts.copy()
+            coarse_passed = np.zeros(num_voxels, dtype=np.int64)
+        else:
+            # Matches the serial path: with the coarse phase disabled both
+            # coarse counters stay zero and every candidate goes fine.
+            coarse_tested = np.zeros(num_voxels, dtype=np.int64)
+            coarse_passed = np.zeros(num_voxels, dtype=np.int64)
+
+        fine_tested = np.bincount(segments, minlength=num_voxels).astype(np.int64)
+        projected = project_gaussians(
+            model, camera, sh_degree=self.sh_degree, indices=candidates
+        )
+        fine_pass = projected.valid & _overlaps_tile(
+            projected.means2d,
+            projected.radii,
+            projected.depths,
+            tile_bounds,
+            camera.near,
+        )
+        fine_passed = np.bincount(
+            segments[fine_pass], minlength=num_voxels
+        ).astype(np.int64)
+
+        survivors = ProjectedGaussians(
+            means2d=projected.means2d[fine_pass],
+            depths=projected.depths[fine_pass],
+            conics=projected.conics[fine_pass],
+            radii=projected.radii[fine_pass],
+            colors=projected.colors[fine_pass],
+            opacities=projected.opacities[fine_pass],
+            valid=projected.valid[fine_pass],
+        )
+        return BatchedFilterResult(
+            indices=candidates[fine_pass],
+            projected=survivors,
+            segment_ids=segments[fine_pass],
+            gaussians_in=counts,
+            coarse_tested=coarse_tested,
+            coarse_passed=coarse_passed,
+            fine_tested=fine_tested,
+            fine_passed=fine_passed,
         )
 
     # ------------------------------------------------------------------

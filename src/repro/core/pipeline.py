@@ -27,8 +27,10 @@ by the blending kernels.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -43,12 +45,19 @@ from repro.core.voxel_order import (
     voxel_depth_map,
 )
 from repro.engine.cache import FrameCache, FramePreparation, frame_key
-from repro.engine.kernels import TRANSMITTANCE_EPSILON, get_kernel
+from repro.engine.kernels import (
+    TRANSMITTANCE_EPSILON,
+    blend_streaming,
+    get_kernel,
+)
 from repro.engine.state import BlendState
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
 from repro.gaussians.rasterizer import RenderOutput
 from repro.gaussians.tiles import TileGrid
+
+#: Registered streaming per-voxel render paths (``StreamingConfig.streaming_kernel``).
+STREAMING_KERNELS = ("reference", "vectorized")
 
 
 @dataclass
@@ -89,6 +98,39 @@ class StreamingStats:
         if self.gaussian_blend_weight is None:
             self.gaussian_blend_weight = np.zeros(num_gaussians, dtype=np.float64)
             self.gaussian_violation_weight = np.zeros(num_gaussians, dtype=np.float64)
+
+    def absorb(self, tile: "StreamingStats") -> None:
+        """Accumulate one tile's statistics into this frame-level record.
+
+        Used by the parallel tile path: every worker renders into a private
+        per-tile :class:`StreamingStats` and the frame merges them in tile
+        id order, so the result is deterministic regardless of thread
+        scheduling.  All integer fields are exact sums; the per-Gaussian
+        weight arrays are added tile by tile (within 1e-9 of the serial
+        in-place accumulation).
+        """
+        self.num_tile_voxel_pairs += tile.num_tile_voxel_pairs
+        self.rays_sampled += tile.rays_sampled
+        self.ordering_table_entries += tile.ordering_table_entries
+        self.dag_edges += tile.dag_edges
+        self.dag_nodes += tile.dag_nodes
+        self.cycles_broken += tile.cycles_broken
+        self.gaussians_streamed += tile.gaussians_streamed
+        self.filter = self.filter.merge(tile.filter)
+        self.traffic = self.traffic.merge(tile.traffic)
+        self.blended_fragments += tile.blended_fragments
+        self.blended_fragment_slots += tile.blended_fragment_slots
+        self.sorted_gaussians += tile.sorted_gaussians
+        self.max_voxel_list_length = max(
+            self.max_voxel_list_length, tile.max_voxel_list_length
+        )
+        self.rendered_gaussian_slots += tile.rendered_gaussian_slots
+        self.depth_order_errors += tile.depth_order_errors
+        self.sort_list_lengths.extend(tile.sort_list_lengths)
+        if tile.gaussian_blend_weight is not None:
+            self.ensure_weight_arrays(len(tile.gaussian_blend_weight))
+            self.gaussian_blend_weight += tile.gaussian_blend_weight
+            self.gaussian_violation_weight += tile.gaussian_violation_weight
 
     @property
     def mean_voxels_per_tile(self) -> float:
@@ -166,11 +208,18 @@ class StreamingStats:
 
 @dataclass
 class StreamingRenderOutput:
-    """Image plus streaming workload statistics."""
+    """Image plus streaming workload statistics.
+
+    ``telemetry`` carries per-frame execution metadata (wall time, the
+    streaming kernel used, tile worker count) — deliberately outside
+    :class:`StreamingStats` so workload statistics stay comparable across
+    render paths.
+    """
 
     image: np.ndarray
     alpha: np.ndarray
     stats: StreamingStats
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def height(self) -> int:
@@ -264,42 +313,132 @@ class StreamingRenderer:
         return preparation
 
     # ------------------------------------------------------------------
-    def render(self, camera: Camera) -> StreamingRenderOutput:
-        """Render one frame voxel-by-voxel."""
+    def render(self, camera: Camera, tile_workers: int = 1) -> StreamingRenderOutput:
+        """Render one frame voxel-by-voxel.
+
+        Parameters
+        ----------
+        camera:
+            The rendering camera.
+        tile_workers:
+            Number of threads rendering independent tiles concurrently.
+            ``1`` (default) renders tiles in order on the calling thread.
+            With more workers each tile accumulates into a private
+            statistics record and the frame merges them in tile id order,
+            so images are identical and statistics deterministic
+            regardless of thread scheduling.
+        """
+        if tile_workers < 1:
+            raise ValueError(f"tile_workers must be >= 1, got {tile_workers}")
         config = self.config
+        started = time.perf_counter()
         tile_grid = TileGrid(camera.width, camera.height, config.tile_size)
         image = np.zeros((camera.height, camera.width, 3), dtype=np.float64)
         alpha_img = np.zeros((camera.height, camera.width), dtype=np.float64)
         stats = StreamingStats(num_tiles=tile_grid.num_tiles)
         stats.ensure_weight_arrays(len(self.source_model))
         preparation = self.prepare_frame(camera)
+        # The fast path is built on the broadcast blend machinery; a
+        # reference *blend* kernel selection is honoured by falling back to
+        # the per-voxel loop (which blends through ``self.kernel``), so
+        # ``blend_kernel="reference"`` keeps validating the blend
+        # recurrence end to end instead of being silently ignored.
+        vectorized_path = (
+            config.streaming_kernel == "vectorized"
+            and config.blend_kernel == "vectorized"
+        )
+        render_tile = (
+            self._render_tile_vectorized
+            if vectorized_path
+            else self._render_tile_reference
+        )
 
-        for tile_id in range(tile_grid.num_tiles):
-            bounds = tile_grid.tile_pixel_bounds(tile_id)
-            self._render_tile(
-                camera, tile_id, bounds, preparation, image, alpha_img, stats
+        workers = min(tile_workers, tile_grid.num_tiles)
+        if workers > 1:
+            self._render_tiles_parallel(
+                camera, tile_grid, preparation, image, alpha_img, stats,
+                render_tile, workers,
             )
+        else:
+            for tile_id in range(tile_grid.num_tiles):
+                bounds = tile_grid.tile_pixel_bounds(tile_id)
+                render_tile(
+                    camera, tile_id, bounds, preparation, image, alpha_img, stats
+                )
 
         # Final pixel writes are the only off-chip writes of the pipeline.
         stats.traffic = stats.traffic.merge(
             DataLayout.pixel_write_traffic(camera.num_pixels)
         )
         return StreamingRenderOutput(
-            image=np.clip(image, 0.0, 1.0), alpha=alpha_img, stats=stats
+            image=np.clip(image, 0.0, 1.0),
+            alpha=alpha_img,
+            stats=stats,
+            telemetry={
+                # The path actually taken (a reference blend-kernel
+                # selection routes through the reference loop).
+                "streaming_kernel": "vectorized" if vectorized_path else "reference",
+                "tile_workers": workers,
+                "tiles": tile_grid.num_tiles,
+                "seconds": time.perf_counter() - started,
+            },
         )
 
-    # ------------------------------------------------------------------
-    def _render_tile(
+    def _render_tiles_parallel(
         self,
         camera: Camera,
-        tile_id: int,
-        bounds,
+        tile_grid: TileGrid,
         preparation: FramePreparation,
         image: np.ndarray,
         alpha_img: np.ndarray,
         stats: StreamingStats,
+        render_tile,
+        workers: int,
     ) -> None:
-        """Render one pixel group, accumulating into the frame buffers."""
+        """Fan independent tiles over a thread pool, merging in tile order.
+
+        Tiles write disjoint image regions directly; statistics go into
+        private per-tile records merged deterministically afterwards.  The
+        shared renderer state read by workers (grid, layout, filter,
+        prepared frame) is immutable during a render.
+        """
+        num_gaussians = len(self.source_model)
+
+        def run(tile_id: int) -> StreamingStats:
+            local = StreamingStats()
+            local.ensure_weight_arrays(num_gaussians)
+            render_tile(
+                camera,
+                tile_id,
+                tile_grid.tile_pixel_bounds(tile_id),
+                preparation,
+                image,
+                alpha_img,
+                local,
+            )
+            return local
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # ``map`` yields in tile id order; absorbing as results arrive
+            # keeps the merge deterministic while holding only the
+            # in-flight tiles' private weight arrays alive.
+            for local in pool.map(run, range(tile_grid.num_tiles)):
+                stats.absorb(local)
+
+    # ------------------------------------------------------------------
+    def _tile_header_stats(
+        self,
+        tile_id: int,
+        bounds,
+        preparation: FramePreparation,
+        image: np.ndarray,
+        stats: StreamingStats,
+    ):
+        """Record per-tile table/DAG accounting; returns the voxel order.
+
+        Returns ``None`` (after painting the background) when the tile has
+        no voxels to stream — shared prologue of both render paths.
+        """
         x0, y0, x1, y1 = bounds
         table = preparation.tile_tables[tile_id]
         stats.rays_sampled += table.rays_sampled
@@ -313,6 +452,23 @@ class StreamingRenderer:
         stats.cycles_broken += order_result.cycles_broken
         if not order_result.order:
             image[y0:y1, x0:x1] = self.background
+            return None
+        return order_result.order
+
+    def _render_tile_reference(
+        self,
+        camera: Camera,
+        tile_id: int,
+        bounds,
+        preparation: FramePreparation,
+        image: np.ndarray,
+        alpha_img: np.ndarray,
+        stats: StreamingStats,
+    ) -> None:
+        """Render one pixel group voxel by voxel (the reference loop)."""
+        x0, y0, x1, y1 = bounds
+        order = self._tile_header_stats(tile_id, bounds, preparation, image, stats)
+        if order is None:
             return
 
         xs, ys = np.meshgrid(np.arange(x0, x1), np.arange(y0, y1))
@@ -325,7 +481,7 @@ class StreamingRenderer:
             stats.gaussian_blend_weight, stats.gaussian_violation_weight
         )
 
-        for voxel_id in order_result.order:
+        for voxel_id in order:
             voxel_indices = self.grid.gaussians_in_voxel(voxel_id)
             stats.num_tile_voxel_pairs += 1
             stats.gaussians_streamed += len(voxel_indices)
@@ -346,20 +502,20 @@ class StreamingRenderer:
                 continue
 
             # Per-voxel depth sort (the simplified bitonic sorting unit).
-            order = np.argsort(result.projected.depths, kind="stable")
-            stats.sorted_gaussians += len(order)
-            stats.sort_list_lengths.append(len(order))
+            depth_order = np.argsort(result.projected.depths, kind="stable")
+            stats.sorted_gaussians += len(depth_order)
+            stats.sort_list_lengths.append(len(depth_order))
             stats.max_voxel_list_length = max(
-                stats.max_voxel_list_length, len(order)
+                stats.max_voxel_list_length, len(depth_order)
             )
-            stats.rendered_gaussian_slots += len(order)
+            stats.rendered_gaussian_slots += len(depth_order)
 
             fragments_before = state.blended_fragments
             state = self.kernel(
                 xs,
                 ys,
                 result.projected,
-                order,
+                depth_order,
                 state,
                 model_indices=np.asarray(result.indices, dtype=np.int64),
                 track_depth_order=True,
@@ -368,6 +524,101 @@ class StreamingRenderer:
             if not np.any(state.transmittance > TRANSMITTANCE_EPSILON):
                 break
 
+        stats.depth_order_errors += state.depth_violations
+        stats.blended_fragment_slots += state.blended_fragments
+        final = state.color + state.transmittance[:, None] * self.background[None, :]
+        h, w = y1 - y0, x1 - x0
+        image[y0:y1, x0:x1] = final.reshape(h, w, 3)
+        alpha_img[y0:y1, x0:x1] = (1.0 - state.transmittance).reshape(h, w)
+
+    def _render_tile_vectorized(
+        self,
+        camera: Camera,
+        tile_id: int,
+        bounds,
+        preparation: FramePreparation,
+        image: np.ndarray,
+        alpha_img: np.ndarray,
+        stats: StreamingStats,
+    ) -> None:
+        """Render one pixel group through the batched streaming fast path.
+
+        The hierarchical filter runs over *all* voxels of the tile in one
+        pass, the survivors are depth-sorted segment-wise (one stable
+        lexsort replaces the per-voxel argsorts) and the whole voxel
+        stream is blended through a single call of the broadcast kernel.
+        The reference loop's voxel-granular early termination is
+        reproduced exactly in the statistics from the kernel's per-pixel
+        saturation positions: voxels past the last pixel's saturation
+        contribute nothing to the blend (their contribution gate is
+        closed), so only the accounting has to be truncated.
+        """
+        x0, y0, x1, y1 = bounds
+        order = self._tile_header_stats(tile_id, bounds, preparation, image, stats)
+        if order is None:
+            return
+        order = np.asarray(order, dtype=np.int64)
+        batch = self.filter.filter_voxel_batch(
+            self.render_model,
+            [self.grid.gaussians_in_voxel(voxel_id) for voxel_id in order],
+            camera,
+            bounds,
+        )
+
+        xs, ys = np.meshgrid(np.arange(x0, x1), np.arange(y0, y1))
+        xs = xs.reshape(-1)
+        ys = ys.reshape(-1)
+        state = BlendState.fresh(len(xs))
+        state.bind_weight_arrays(
+            stats.gaussian_blend_weight, stats.gaussian_violation_weight
+        )
+
+        # Segment-wise stable depth sort: identical to the per-voxel
+        # ``argsort(..., kind="stable")`` of the reference loop.
+        stream_order = np.lexsort((batch.projected.depths, batch.segment_ids))
+        state, saturation = blend_streaming(
+            xs,
+            ys,
+            batch.projected,
+            stream_order,
+            state,
+            model_indices=batch.indices,
+            track_depth_order=True,
+        )
+
+        # The voxel prefix the reference loop would have processed: it
+        # breaks after the first voxel that saturates every pixel.
+        segment_ends = np.cumsum(batch.survivor_counts)
+        total = len(stream_order)
+        if total and len(saturation) and int(saturation.max()) < total:
+            last_saturating = int(saturation.max())
+            processed = int(np.searchsorted(segment_ends, last_saturating, side="right")) + 1
+        else:
+            processed = len(order)
+
+        stats.num_tile_voxel_pairs += processed
+        stats.gaussians_streamed += int(batch.gaussians_in[:processed].sum())
+        stats.filter = stats.filter.merge(batch.prefix_stats(processed))
+        coarse_passed = (
+            batch.coarse_passed
+            if self.config.use_coarse_filter
+            else batch.gaussians_in
+        )
+        stats.traffic = stats.traffic.merge(
+            self.layout.voxel_stream_traffic_batch(
+                order[:processed], coarse_passed[:processed]
+            )
+        )
+        survivors = batch.survivor_counts[:processed]
+        survivors = survivors[survivors > 0]
+        stats.sorted_gaussians += int(survivors.sum())
+        stats.sort_list_lengths.extend(int(n) for n in survivors)
+        if len(survivors):
+            stats.max_voxel_list_length = max(
+                stats.max_voxel_list_length, int(survivors.max())
+            )
+        stats.rendered_gaussian_slots += int(survivors.sum())
+        stats.blended_fragments += state.blended_fragments
         stats.depth_order_errors += state.depth_violations
         stats.blended_fragment_slots += state.blended_fragments
         final = state.color + state.transmittance[:, None] * self.background[None, :]

@@ -1,21 +1,30 @@
-"""Micro-benchmark of the blending kernels.
+"""Micro-benchmarks of the blending kernels and the streaming render path.
 
-Times the tile-centric render of a seeded synthetic scene under each
-registered blending kernel, verifies the outputs agree, and reports the
-speedup of the vectorized kernel over the reference loop.  The benchmark
-script ``benchmarks/bench_engine.py`` appends the result to the
-``BENCH_engine.json`` trajectory, and the analysis runner exposes it as the
-``engine`` experiment.
+:func:`run_kernel_benchmark` times the tile-centric render of a seeded
+synthetic scene under each registered blending kernel, verifies the outputs
+agree, and reports the speedup of the vectorized kernel over the reference
+loop (``benchmarks/bench_engine.py`` → ``BENCH_engine.json``; the runner's
+``engine`` experiment).
+
+:func:`run_streaming_benchmark` does the same for the memory-centric
+streaming pipeline's per-voxel render paths: the voxel-at-a-time reference
+loop against the batched/vectorized fast path
+(``StreamingConfig.streaming_kernel``), checking that images agree within
+1e-9 and that every workload statistic — fragments, filter reductions,
+depth-order violation sets — is exactly equal
+(``benchmarks/bench_streaming.py`` → ``BENCH_streaming.json``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.config import StreamingConfig
+from repro.core.pipeline import StreamingRenderer, StreamingStats
 from repro.engine.kernels import DEFAULT_KERNEL, available_kernels
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
@@ -134,4 +143,191 @@ def run_kernel_benchmark(
         for name in images
     ]
     result.max_image_delta = max(deltas)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Streaming render-path benchmark.
+# ----------------------------------------------------------------------
+def streaming_stats_equal(
+    a: StreamingStats, b: StreamingStats, weight_atol: float = 1e-9
+) -> Tuple[bool, str]:
+    """Whether two streaming runs produced the same workload description.
+
+    Integer accounting (fragments, filter counts, traffic bytes, sort
+    lists, violation counts) must be *exactly* equal; the float
+    per-Gaussian weight arrays within ``weight_atol``; the derived
+    error-Gaussian (violation) sets identical.  Returns ``(ok, detail)``
+    with ``detail`` naming the first mismatching field.
+    """
+    exact_fields = (
+        "num_tiles",
+        "num_tile_voxel_pairs",
+        "rays_sampled",
+        "ordering_table_entries",
+        "dag_edges",
+        "dag_nodes",
+        "cycles_broken",
+        "gaussians_streamed",
+        "filter",
+        "traffic",
+        "blended_fragments",
+        "blended_fragment_slots",
+        "sorted_gaussians",
+        "max_voxel_list_length",
+        "rendered_gaussian_slots",
+        "depth_order_errors",
+        "sort_list_lengths",
+    )
+    for name in exact_fields:
+        if getattr(a, name) != getattr(b, name):
+            return False, f"{name}: {getattr(a, name)!r} != {getattr(b, name)!r}"
+    for name in ("gaussian_blend_weight", "gaussian_violation_weight"):
+        left, right = getattr(a, name), getattr(b, name)
+        if (left is None) != (right is None):
+            return False, f"{name}: one side is None"
+        if left is not None and not np.allclose(left, right, atol=weight_atol):
+            return False, f"{name}: max delta {np.max(np.abs(left - right)):.3g}"
+    if not np.array_equal(a.error_gaussian_indices(), b.error_gaussian_indices()):
+        return False, "error_gaussian_indices differ"
+    return True, ""
+
+
+@dataclass
+class StreamingBenchResult:
+    """Timings and equivalence check of one streaming-path comparison run."""
+
+    num_gaussians: int
+    resolution: tuple
+    voxel_size: float
+    repeats: int
+    tile_workers: int
+    seconds: Dict[str, float] = field(default_factory=dict)
+    max_image_delta: float = 0.0
+    stats_equal: bool = False
+    stats_detail: str = ""
+    gaussians_streamed: int = 0
+    blended_fragments: int = 0
+    filtering_reduction: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Reference-path time over vectorized-path time."""
+        reference = self.seconds.get("reference", 0.0)
+        vectorized = self.seconds.get("vectorized", 0.0)
+        return reference / vectorized if vectorized else 0.0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Vectorized serial-tile time over parallel-tile time (0 when unmeasured)."""
+        vectorized = self.seconds.get("vectorized", 0.0)
+        parallel = self.seconds.get("vectorized_parallel", 0.0)
+        return vectorized / parallel if parallel else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "num_gaussians": self.num_gaussians,
+            "resolution": list(self.resolution),
+            "voxel_size": self.voxel_size,
+            "repeats": self.repeats,
+            "tile_workers": self.tile_workers,
+            "seconds": dict(self.seconds),
+            "speedup": self.speedup,
+            "parallel_speedup": self.parallel_speedup,
+            "max_image_delta": self.max_image_delta,
+            "stats_equal": self.stats_equal,
+            "stats_detail": self.stats_detail,
+            "gaussians_streamed": self.gaussians_streamed,
+            "blended_fragments": self.blended_fragments,
+            "filtering_reduction": self.filtering_reduction,
+        }
+
+    def format(self) -> str:
+        lines = [
+            "streaming render-path micro-benchmark "
+            f"({self.num_gaussians} Gaussians, {self.resolution[0]}x{self.resolution[1]}, "
+            f"voxel {self.voxel_size}, {self.repeats} repeat(s))"
+        ]
+        for name in sorted(self.seconds):
+            lines.append(f"  {name:<20} {self.seconds[name] * 1e3:9.1f} ms")
+        lines.append(
+            f"  speedup (reference / vectorized): {self.speedup:.2f}x; "
+            f"max |image delta| = {self.max_image_delta:.3g}; "
+            f"stats {'EQUAL' if self.stats_equal else 'DIFFER: ' + self.stats_detail}"
+        )
+        if self.tile_workers > 1:
+            lines.append(
+                f"  parallel tiles ({self.tile_workers} workers): "
+                f"{self.parallel_speedup:.2f}x over serial tiles"
+            )
+        return "\n".join(lines)
+
+
+def run_streaming_benchmark(
+    num_gaussians: int = 6000,
+    width: int = 160,
+    height: int = 120,
+    repeats: int = 3,
+    seed: int = 7,
+    voxel_size: float = 0.5,
+    tile_workers: int = 0,
+    config: Optional[StreamingConfig] = None,
+) -> StreamingBenchResult:
+    """Time the streaming reference loop against the vectorized fast path.
+
+    Frame preparation (ray traversal, topological sort) is warmed first so
+    the timings isolate the per-voxel render path the two kernels differ
+    in.  ``tile_workers > 1`` additionally times the vectorized path with
+    parallel tile rendering (reported, not part of the speedup gate).
+    """
+    model = benchmark_scene(num_gaussians=num_gaussians, seed=seed)
+    camera = benchmark_camera(width=width, height=height)
+    # ``voxel_size`` shapes the default configuration only; an explicit
+    # ``config`` is benchmarked exactly as given (and its voxel size is
+    # what the trajectory records).
+    base = config or StreamingConfig(voxel_size=voxel_size, use_vq=False)
+    voxel_size = base.voxel_size
+    renderers = {
+        name: StreamingRenderer(model, base.with_options(streaming_kernel=name))
+        for name in ("reference", "vectorized")
+    }
+    for renderer in renderers.values():
+        renderer.prepare_frame(camera)
+
+    result = StreamingBenchResult(
+        num_gaussians=num_gaussians,
+        resolution=(width, height),
+        voxel_size=voxel_size,
+        repeats=repeats,
+        tile_workers=tile_workers,
+    )
+    outputs: Dict[str, object] = {}
+    best: Dict[str, float] = {name: float("inf") for name in renderers}
+    # Rounds are interleaved across paths so machine-load drift during the
+    # benchmark biases neither side of the speedup ratio.
+    for _ in range(repeats):
+        for name, renderer in renderers.items():
+            start = time.perf_counter()
+            outputs[name] = renderer.render(camera)
+            best[name] = min(best[name], time.perf_counter() - start)
+    if tile_workers > 1:
+        best["vectorized_parallel"] = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            renderers["vectorized"].render(camera, tile_workers=tile_workers)
+            best["vectorized_parallel"] = min(
+                best["vectorized_parallel"], time.perf_counter() - start
+            )
+    result.seconds = dict(best)
+
+    reference, vectorized = outputs["reference"], outputs["vectorized"]
+    result.max_image_delta = float(
+        np.max(np.abs(vectorized.image - reference.image))
+    )
+    result.stats_equal, result.stats_detail = streaming_stats_equal(
+        reference.stats, vectorized.stats
+    )
+    result.gaussians_streamed = vectorized.stats.gaussians_streamed
+    result.blended_fragments = vectorized.stats.blended_fragments
+    result.filtering_reduction = vectorized.stats.filtering_reduction
     return result

@@ -8,7 +8,12 @@ Both renderers funnel every pixel they produce through one of these kernels:
 * :func:`blend_vectorized` — a fully batched kernel that evaluates all
   (gaussian, pixel) powers in one broadcast and derives per-step
   transmittance with an exclusive cumulative product, reproducing the
-  reference recurrence (including the early-termination gate) exactly.
+  reference recurrence (including the early-termination gate) exactly;
+* :func:`blend_streaming` — the same machinery exposed to the streaming
+  per-voxel path: blends a whole tile's concatenated voxel stream in one
+  call and additionally reports, per pixel, the stream position at which
+  the pixel saturated, so the pipeline can reproduce the reference loop's
+  voxel-granular early termination in its statistics.
 
 Kernels share one signature::
 
@@ -22,7 +27,7 @@ attribution lands directly in the frame-level arrays bound into ``state``.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -139,15 +144,74 @@ def blend_vectorized(
     Depth-order tracking uses an exclusive running maximum of contributing
     depths along the same axis.
     """
+    state, _ = _blend_batched(
+        pixel_x,
+        pixel_y,
+        projected,
+        sorted_indices,
+        state,
+        model_indices=model_indices,
+        track_depth_order=track_depth_order,
+    )
+    return state
+
+
+def blend_streaming(
+    pixel_x: np.ndarray,
+    pixel_y: np.ndarray,
+    projected: ProjectedGaussians,
+    sorted_indices: np.ndarray,
+    state: BlendState,
+    model_indices: Optional[np.ndarray] = None,
+    track_depth_order: bool = False,
+) -> "Tuple[BlendState, np.ndarray]":
+    """Streaming-order blend: the vectorized kernel plus saturation steps.
+
+    Blends exactly like :func:`blend_vectorized` (same chunks, same
+    cumulative products, bit-identical state) and additionally returns, per
+    pixel, the position in ``sorted_indices`` of the Gaussian whose blend
+    saturated that pixel (transmittance fell to or below
+    :data:`TRANSMITTANCE_EPSILON`), or ``len(sorted_indices)`` when the
+    pixel never saturated.  The streaming per-voxel path uses the maximum
+    over pixels to reproduce the reference loop's voxel-granular early
+    termination in its statistics without blending voxel by voxel.
+    """
+    return _blend_batched(
+        pixel_x,
+        pixel_y,
+        projected,
+        sorted_indices,
+        state,
+        model_indices=model_indices,
+        track_depth_order=track_depth_order,
+        record_saturation=True,
+    )
+
+
+def _blend_batched(
+    pixel_x: np.ndarray,
+    pixel_y: np.ndarray,
+    projected: ProjectedGaussians,
+    sorted_indices: np.ndarray,
+    state: BlendState,
+    model_indices: Optional[np.ndarray] = None,
+    track_depth_order: bool = False,
+    record_saturation: bool = False,
+) -> "Tuple[BlendState, Optional[np.ndarray]]":
+    """Shared chunked broadcast machinery of the vectorized kernels."""
     if track_depth_order:
         state.ensure_weight_arrays(_tracking_size(projected, model_indices))
     sorted_indices = np.asarray(sorted_indices, dtype=np.int64)
-    sel = sorted_indices[projected.valid[sorted_indices]]
+    valid_positions = np.flatnonzero(projected.valid[sorted_indices])
+    sel = sorted_indices[valid_positions]
+    num_pixels = len(pixel_x)
+    saturation: Optional[np.ndarray] = None
+    if record_saturation:
+        saturation = np.full(num_pixels, len(sorted_indices), dtype=np.int64)
     if len(sel) == 0:
-        return state
+        return state, saturation
     px = pixel_x.astype(np.float64) + 0.5
     py = pixel_y.astype(np.float64) + 0.5
-    num_pixels = len(px)
 
     for start in range(0, len(sel), VECTORIZED_CHUNK):
         # Active-pixel compaction: transmittance is non-increasing, so
@@ -228,6 +292,22 @@ def blend_vectorized(
             else:
                 state.max_depth = prior_max[-1]
 
+        if record_saturation:
+            # Pixels enter a chunk active (T > epsilon), so the first chunk
+            # row whose running product crosses the threshold is the global
+            # first crossing — and up to that crossing the ungated product
+            # equals the reference transmittance bit for bit.
+            saturated = running[1:] <= TRANSMITTANCE_EPSILON
+            any_saturated = np.any(saturated, axis=0)
+            if np.any(any_saturated):
+                first_row = np.argmax(saturated, axis=0)
+                hit_pixels = (active if compact else np.arange(num_pixels))[
+                    any_saturated
+                ]
+                saturation[hit_pixels] = valid_positions[
+                    start + first_row[any_saturated]
+                ]
+
         # Transmittance after the last contributing Gaussian: the running
         # product only decreases on contributing steps, so the masked
         # minimum recovers it; pixels without contributions keep their
@@ -240,7 +320,7 @@ def blend_vectorized(
             state.transmittance[active] = transmittance_out
         else:
             state.transmittance = transmittance_out
-    return state
+    return state, saturation
 
 
 #: Registry of the interchangeable blending kernels.

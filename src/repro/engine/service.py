@@ -95,6 +95,11 @@ class RenderService:
         self.renderer_hits = 0
         self.renderer_misses = 0
         self.peak_renderers = 0
+        self.parallel_tile_frames = 0
+        #: Telemetry of the most recent streaming render (kernel, tile
+        #: worker count, tiles, wall seconds) — per-frame observability for
+        #: the runner's ``--telemetry-json`` dump.
+        self.last_frame: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def streaming_renderer(
@@ -140,10 +145,17 @@ class RenderService:
 
     # ------------------------------------------------------------------
     def render(
-        self, request: RenderRequest, _fingerprint: Optional[str] = None
+        self,
+        request: RenderRequest,
+        _fingerprint: Optional[str] = None,
+        tile_workers: int = 1,
     ) -> RenderResponse:
         """Serve one request.
 
+        ``tile_workers`` fans the streaming render's independent tiles over
+        a thread pool (:meth:`StreamingRenderer.render`); images are
+        identical and statistics deterministic regardless of scheduling,
+        with the per-frame telemetry recorded in :attr:`last_frame`.
         ``_fingerprint`` is internal: :meth:`render_batch` passes the model
         hash it already computed for grouping, so a batch hashes each model
         once instead of once per request.
@@ -156,16 +168,22 @@ class RenderService:
         else:
             output = self.streaming_renderer(
                 request.model, config, fingerprint=_fingerprint
-            ).render(request.camera)
+            ).render(request.camera, tile_workers=tile_workers)
+            self.last_frame = dict(output.telemetry)
+            if output.telemetry.get("tile_workers", 1) > 1:
+                self.parallel_tile_frames += 1
         self.requests_served += 1
         return RenderResponse(request=request, output=output)
 
-    def render_batch(self, requests: Iterable[RenderRequest]) -> List[RenderResponse]:
+    def render_batch(
+        self, requests: Iterable[RenderRequest], tile_workers: int = 1
+    ) -> List[RenderResponse]:
         """Serve many requests, sharing renderers and prepared frames.
 
         Requests are grouped by (model, config) so each streaming renderer
         is built once and its frame-preparation cache sees every camera of
-        the group back to back.
+        the group back to back.  ``tile_workers`` is forwarded to every
+        streaming render (see :meth:`render`).
         """
         indexed = list(enumerate(requests))
         responses: List[Optional[RenderResponse]] = [None] * len(indexed)
@@ -188,7 +206,9 @@ class RenderService:
             ).append((i, request))
         for (fingerprint, _), group in groups.items():
             for i, request in group:
-                responses[i] = self.render(request, _fingerprint=fingerprint)
+                responses[i] = self.render(
+                    request, _fingerprint=fingerprint, tile_workers=tile_workers
+                )
         for i, request in indexed:
             if request.mode != "streaming":
                 responses[i] = self.render(request)
@@ -220,6 +240,8 @@ class RenderService:
             "renderer_misses": self.renderer_misses,
             "renderers_alive": len(self._renderers),
             "peak_renderers": self.peak_renderers,
+            "parallel_tile_frames": self.parallel_tile_frames,
+            "last_frame": dict(self.last_frame) if self.last_frame else None,
         }
 
     def clear(self) -> None:

@@ -6,7 +6,8 @@ are byte-identical, independent of worker scheduling.
 """
 
 from repro.analysis.sensitivity import run_fig12, run_fig13
-from repro.api import ResultStore, Session
+from repro.api import ExperimentSpec, ResultStore, Session
+from repro.api.spec import sweep
 
 #: Reduced grid + resolution keeps the parity runs cheap.
 SCALE = 0.5
@@ -39,6 +40,47 @@ class TestFig13Parity:
         assert parallel.format() == serial.format()
         assert parallel.speedup == serial.speedup
         assert parallel.area_mm2 == serial.area_mm2
+
+
+class TestStreamingKernelParity:
+    """The sensitivity tables are pinned across streaming render paths.
+
+    Fig. 12 / Fig. 13 tables produced with the vectorized streaming fast
+    path (the default) must be byte-identical to the voxel-at-a-time
+    reference loop — the acceptance bar that lets the fast path be the
+    default without moving any published number.
+    """
+
+    def test_fig12_table_is_byte_identical_across_kernels(self):
+        tables = {}
+        for kernel in ("reference", "vectorized"):
+            base = ExperimentSpec(
+                scene="lego",
+                arch="streaminggs",
+                resolution_scale=SCALE,
+                config={"streaming_kernel": kernel},
+            )
+            result = Session().run_sweep(
+                sweep(base, voxel_size=[0.4, 0.8]), swept=["voxel_size"]
+            )
+            tables[kernel] = result.format()
+        assert tables["vectorized"] == tables["reference"]
+
+    def test_fig13_table_is_byte_identical_across_kernels(self):
+        tables = {}
+        for kernel in ("reference", "vectorized"):
+            base = ExperimentSpec(
+                scene="lego",
+                arch="streaminggs",
+                resolution_scale=SCALE,
+                config={"streaming_kernel": kernel},
+            )
+            result = Session().run_sweep(
+                sweep(base, cfus_per_hfu=[1, 2], ffus_per_hfu=[1, 2]),
+                swept=["cfus_per_hfu", "ffus_per_hfu"],
+            )
+            tables[kernel] = result.format()
+        assert tables["vectorized"] == tables["reference"]
 
 
 class TestSingleContextFanOut:

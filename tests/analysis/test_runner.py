@@ -175,3 +175,56 @@ def test_cli_options_routed_to_unselected_experiment_is_clean_error(capsys):
     assert code == 2
     assert "not" in captured.err and "fig13" in captured.err
     assert captured.out == ""
+
+
+def test_cli_telemetry_json_dump(capsys, tmp_path):
+    path = tmp_path / "telemetry.json"
+    code = main(
+        [
+            "fig12",
+            "--jobs",
+            "2",
+            "--telemetry-json",
+            str(path),
+            "--options",
+            '{"scene": "lego", "voxel_sizes": [0.4, 0.8], "resolution_scale": 0.5}',
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert f"[telemetry] wrote {path}" in captured.err
+    payload = json.loads(path.read_text())
+    execution = payload["experiments"]["fig12"]
+    assert execution["specs"] == 2
+    assert execution["jobs"] == 2
+    assert "split_threshold" in execution
+    assert payload["scheduler"] is None
+    assert payload["session"]["service"]["requests_served"] >= 0
+    assert payload["store"] is None
+
+
+def test_cli_telemetry_json_with_scheduler(capsys, tmp_path):
+    path = tmp_path / "telemetry.json"
+    code = main(
+        [
+            "fig12",
+            "fig13",
+            "--jobs",
+            "2",
+            "--telemetry-json",
+            str(path),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--options",
+            '{"fig12": {"scene": "lego", "voxel_sizes": [0.4], "resolution_scale": 0.5},'
+            ' "fig13": {"scene": "lego", "cfus": [1], "ffus": [1], "resolution_scale": 0.5}}',
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    payload = json.loads(path.read_text())
+    assert payload["scheduler"]["experiments"] == 2
+    assert payload["experiments"]["fig12"]["elapsed_s"] > 0
+    assert payload["experiments"]["fig13"]["elapsed_s"] > 0
+    assert payload["session"] is None
+    assert payload["store"]["entries"] >= 0

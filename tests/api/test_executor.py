@@ -319,3 +319,69 @@ class TestExecutionReport:
         assert cold.meta["execution"]["cache_misses"] == len(specs)
         assert warm.meta["execution"]["cache_hits"] == len(specs)
         assert warm.meta["execution"]["shards"] == 0
+
+
+class TestAdaptiveSplitThreshold:
+    def test_no_observation_uses_static_default(self):
+        from repro.api.executor import adaptive_split_threshold
+
+        assert adaptive_split_threshold(None) == SHARD_SPLIT_THRESHOLD
+        assert adaptive_split_threshold(0.0) == SHARD_SPLIT_THRESHOLD
+
+    def test_expensive_specs_lower_the_threshold(self):
+        from repro.api.executor import SUB_SHARD_MIN_SPECS, adaptive_split_threshold
+
+        # 2 s per spec: even tiny shards are worth splitting, down to the
+        # dispatch-overhead floor.
+        assert adaptive_split_threshold(2.0) == SUB_SHARD_MIN_SPECS
+
+    def test_cheap_specs_keep_the_static_cutoff(self):
+        from repro.api.executor import adaptive_split_threshold
+
+        # Microsecond specs: splitting would be pure overhead; the policy
+        # never exceeds the static default.
+        assert adaptive_split_threshold(1e-6) == SHARD_SPLIT_THRESHOLD
+
+    def test_threshold_scales_with_observed_cost(self):
+        from repro.api.executor import (
+            SPLIT_MIN_SHARD_SECONDS,
+            SUB_SHARD_MIN_SPECS,
+            adaptive_split_threshold,
+        )
+
+        mid = adaptive_split_threshold(SPLIT_MIN_SHARD_SECONDS / 6)
+        assert SUB_SHARD_MIN_SPECS <= mid <= SHARD_SPLIT_THRESHOLD
+        assert adaptive_split_threshold(10.0) <= mid
+
+    def test_session_seeds_threshold_from_last_execution(self):
+        from repro.api.executor import ExecutionReport, SUB_SHARD_MIN_SPECS
+
+        session = Session()
+        assert session.split_threshold() == SHARD_SPLIT_THRESHOLD
+        session.last_execution = ExecutionReport(
+            cache_misses=4, shard_times_s=[4.0, 4.0]
+        )
+        assert session.split_threshold() == SUB_SHARD_MIN_SPECS
+        # A warm run that evaluated nothing carries no cost signal.
+        session.last_execution = ExecutionReport(cache_misses=0, shard_times_s=[])
+        assert session.split_threshold() == SHARD_SPLIT_THRESHOLD
+
+    def test_report_records_split_threshold(self, specs):
+        session = Session()
+        result = session.run_sweep(specs, swept=["voxel_size"])
+        assert (
+            result.meta["execution"]["split_threshold"] == SHARD_SPLIT_THRESHOLD
+        )
+        assert session.last_execution.per_spec_seconds is not None
+
+    def test_sweep_after_expensive_run_uses_adapted_threshold(self, specs):
+        from repro.api.executor import ExecutionReport, SUB_SHARD_MIN_SPECS
+
+        session = Session()
+        session.last_execution = ExecutionReport(
+            cache_misses=2, shard_times_s=[3.0, 3.0]
+        )
+        result = session.run_sweep(specs, swept=["voxel_size"])
+        assert (
+            result.meta["execution"]["split_threshold"] == SUB_SHARD_MIN_SPECS
+        )

@@ -1,0 +1,340 @@
+"""Golden-equivalence suite for the vectorized streaming render path.
+
+The acceptance bar of the streaming fast path (PR 5): across scenes,
+compression variants and filter configurations, the batched per-voxel path
+(``StreamingConfig.streaming_kernel="vectorized"``) must produce images
+within 1e-9 of the voxel-at-a-time reference loop and *exactly* equal
+workload statistics — fragment counts, hierarchical-filter reductions,
+DRAM traffic, sort-list shapes and depth-order violation sets.  The same
+bar applies to the batched building blocks (hierarchical filter, DDA
+traversal, traffic accounting) against their serial counterparts, and to
+parallel tile rendering against the serial tile loop.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import StreamingConfig
+from repro.core.data_layout import DataLayout, LayoutTraffic
+from repro.core.hierarchical_filter import FilterStats, HierarchicalFilter
+from repro.core.pipeline import STREAMING_KERNELS, StreamingRenderer
+from repro.core.ray_voxel import _tile_ray_pixels, traverse_ray, traverse_rays
+from repro.core.voxel_grid import VoxelGrid
+from repro.engine.bench import streaming_stats_equal
+from repro.gaussians.tiles import TileGrid
+from tests.conftest import make_camera, make_model
+
+GOLDEN_ATOL = 1e-9
+
+#: Two scene shapes: a mid-density cloud and a dense, near-opaque cloud
+#: whose saturated tiles exercise the voxel-granular early termination.
+SCENES = {
+    "sparse": dict(num_gaussians=300, extent=5.0, scale=0.1, seed=3, opacity=0.8),
+    "opaque": dict(num_gaussians=1200, extent=3.0, scale=0.25, seed=11, opacity=0.98),
+}
+
+#: Per-scene render geometry (the opaque scene is viewed close up through
+#: small voxels so whole tiles saturate mid-stream).
+SCENE_SETUP = {
+    "sparse": dict(voxel_size=0.8, distance=5.0),
+    "opaque": dict(voxel_size=0.6, distance=4.0),
+}
+
+
+def render_pair(scene: str, **config_options):
+    model = make_model(**SCENES[scene])
+    camera = make_camera(width=48, height=32, distance=SCENE_SETUP[scene]["distance"])
+    base = StreamingConfig(
+        voxel_size=SCENE_SETUP[scene]["voxel_size"], **config_options
+    )
+    outputs = {}
+    for kernel in STREAMING_KERNELS:
+        renderer = StreamingRenderer(
+            model, base.with_options(streaming_kernel=kernel)
+        )
+        outputs[kernel] = renderer.render(camera)
+    return outputs["reference"], outputs["vectorized"]
+
+
+class TestStreamingGoldenEquivalence:
+    @pytest.mark.parametrize("scene", sorted(SCENES))
+    @pytest.mark.parametrize("use_vq", [False, True])
+    @pytest.mark.parametrize("use_coarse_filter", [False, True])
+    def test_vectorized_path_matches_reference(self, scene, use_vq, use_coarse_filter):
+        reference, vectorized = render_pair(
+            scene, use_vq=use_vq, use_coarse_filter=use_coarse_filter
+        )
+        np.testing.assert_allclose(
+            vectorized.image, reference.image, atol=GOLDEN_ATOL
+        )
+        np.testing.assert_allclose(
+            vectorized.alpha, reference.alpha, atol=GOLDEN_ATOL
+        )
+        equal, detail = streaming_stats_equal(reference.stats, vectorized.stats)
+        assert equal, detail
+
+    def test_early_termination_truncates_statistics_identically(self):
+        """Saturated tiles stop streaming voxels at the same point."""
+        reference, vectorized = render_pair("opaque", use_vq=False)
+        # The opaque scene must actually terminate early somewhere, or the
+        # scenario is untested.
+        renderer = StreamingRenderer(
+            make_model(**SCENES["opaque"]),
+            StreamingConfig(voxel_size=SCENE_SETUP["opaque"]["voxel_size"], use_vq=False),
+        )
+        preparation = renderer.prepare_frame(
+            make_camera(width=48, height=32, distance=SCENE_SETUP["opaque"]["distance"])
+        )
+        total_order_entries = sum(
+            len(order.order) for order in preparation.tile_orders.values()
+        )
+        assert reference.stats.num_tile_voxel_pairs < total_order_entries
+        assert (
+            vectorized.stats.num_tile_voxel_pairs
+            == reference.stats.num_tile_voxel_pairs
+        )
+        assert vectorized.stats.filter == reference.stats.filter
+        assert vectorized.stats.traffic == reference.stats.traffic
+
+    def test_streaming_kernel_is_validated(self):
+        with pytest.raises(ValueError, match="streaming_kernel"):
+            StreamingConfig(streaming_kernel="nope")
+
+    def test_default_streaming_kernel_is_vectorized(self):
+        assert StreamingConfig().streaming_kernel == "vectorized"
+        assert set(STREAMING_KERNELS) == {"reference", "vectorized"}
+
+    def test_reference_blend_kernel_routes_through_reference_path(self):
+        """The blend-kernel escape hatch still covers streaming renders."""
+        model = make_model(num_gaussians=120, extent=4.0, seed=2)
+        camera = make_camera(width=32, height=32)
+        renderer = StreamingRenderer(
+            model,
+            StreamingConfig(voxel_size=1.0, use_vq=False, blend_kernel="reference"),
+        )
+        output = renderer.render(camera)
+        assert output.telemetry["streaming_kernel"] == "reference"
+        vectorized = StreamingRenderer(
+            model, StreamingConfig(voxel_size=1.0, use_vq=False)
+        ).render(camera)
+        assert vectorized.telemetry["streaming_kernel"] == "vectorized"
+        np.testing.assert_allclose(
+            vectorized.image, output.image, atol=GOLDEN_ATOL
+        )
+
+
+class TestBatchedHierarchicalFilter:
+    @pytest.fixture
+    def scene(self):
+        model = make_model(num_gaussians=400, extent=6.0, seed=8)
+        grid = VoxelGrid.build(model, voxel_size=1.2)
+        camera = make_camera(width=64, height=48, distance=7.0)
+        return model, grid, camera
+
+    @pytest.mark.parametrize("use_coarse_filter", [False, True])
+    def test_batch_matches_serial_per_voxel(self, scene, use_coarse_filter):
+        model, grid, camera = scene
+        hfilter = HierarchicalFilter(use_coarse_filter=use_coarse_filter)
+        bounds = (16, 0, 48, 32)
+        voxel_ids = list(range(grid.num_voxels))
+        voxel_lists = [grid.gaussians_in_voxel(v) for v in voxel_ids]
+        batch = hfilter.filter_voxel_batch(model, voxel_lists, camera, bounds)
+
+        offset = 0
+        for position, indices in enumerate(voxel_lists):
+            serial = hfilter.filter_voxel(model, indices, camera, bounds)
+            assert batch.voxel_stats(position) == serial.stats
+            count = int(batch.survivor_counts[position])
+            assert count == len(serial.indices)
+            segment = slice(offset, offset + count)
+            np.testing.assert_array_equal(batch.indices[segment], serial.indices)
+            np.testing.assert_array_equal(
+                batch.segment_ids[segment], np.full(count, position)
+            )
+            # Projection math is row-independent but BLAS kernels may pick
+            # different instruction paths per batch size, so survivor
+            # projections agree to the last few ulps, not bit-for-bit.
+            np.testing.assert_allclose(
+                batch.projected.depths[segment],
+                serial.projected.depths,
+                rtol=1e-12,
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                batch.projected.means2d[segment],
+                serial.projected.means2d,
+                rtol=1e-12,
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                batch.projected.conics[segment],
+                serial.projected.conics,
+                rtol=1e-12,
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                batch.projected.colors[segment],
+                serial.projected.colors,
+                rtol=1e-12,
+                atol=1e-12,
+            )
+            offset += count
+
+    def test_prefix_stats_matches_serial_accumulation(self, scene):
+        model, grid, camera = scene
+        hfilter = HierarchicalFilter()
+        bounds = (0, 0, 32, 32)
+        voxel_lists = [grid.gaussians_in_voxel(v) for v in range(grid.num_voxels)]
+        batch = hfilter.filter_voxel_batch(model, voxel_lists, camera, bounds)
+        accumulated = FilterStats()
+        for position, indices in enumerate(voxel_lists):
+            accumulated = accumulated.merge(
+                hfilter.filter_voxel(model, indices, camera, bounds).stats
+            )
+            assert batch.prefix_stats(position + 1) == accumulated
+
+    def test_empty_batch(self, scene):
+        model, grid, camera = scene
+        batch = HierarchicalFilter().filter_voxel_batch(
+            model, [], camera, (0, 0, 16, 16)
+        )
+        assert batch.num_voxels == 0
+        assert len(batch.indices) == 0
+        assert batch.prefix_stats(0) == FilterStats()
+
+
+#: Strategy for one random-but-valid FilterStats record.
+filter_stats = st.builds(
+    FilterStats,
+    gaussians_in=st.integers(0, 10_000),
+    coarse_tested=st.integers(0, 10_000),
+    coarse_passed=st.integers(0, 10_000),
+    fine_tested=st.integers(0, 10_000),
+    fine_passed=st.integers(0, 10_000),
+    coarse_macs=st.integers(0, 10_000_000),
+    fine_macs=st.integers(0, 10_000_000),
+)
+
+
+class TestFilterStatsMergeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(a=filter_stats, b=filter_stats, c=filter_stats)
+    def test_merge_is_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=filter_stats, b=filter_stats)
+    def test_merge_commutes(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=filter_stats)
+    def test_empty_is_identity(self, a):
+        assert a.merge(FilterStats()) == a
+        assert FilterStats().merge(a) == a
+
+
+class TestBatchedTraversal:
+    def test_batch_matches_scalar_per_ray(self):
+        model = make_model(num_gaussians=500, extent=5.0, seed=9)
+        grid = VoxelGrid.build(model, 0.7)
+        camera = make_camera(width=64, height=48)
+        tile_grid = TileGrid(64, 48, 16)
+        for tile_id in range(tile_grid.num_tiles):
+            px, py = _tile_ray_pixels(tile_grid.tile_pixel_bounds(tile_id), 4)
+            origins, directions = camera.pixel_rays(px, py)
+            batch = traverse_rays(grid, origins, directions)
+            for ray in range(len(origins)):
+                assert batch[ray] == traverse_ray(
+                    grid, origins[ray], directions[ray]
+                )
+
+    def test_max_voxels_bound_respected(self):
+        model = make_model(num_gaussians=300, extent=5.0, seed=4)
+        grid = VoxelGrid.build(model, 0.3)
+        camera = make_camera(width=32, height=32)
+        px, py = _tile_ray_pixels((0, 0, 32, 32), 8)
+        origins, directions = camera.pixel_rays(px, py)
+        short = traverse_rays(grid, origins, directions, max_voxels=3)
+        full = traverse_rays(grid, origins, directions)
+        for bounded, reference in zip(short, full):
+            assert len(bounded) <= 3
+            assert bounded == reference[: len(bounded)]
+
+    def test_zero_direction_raises(self):
+        model = make_model(num_gaussians=50, seed=1)
+        grid = VoxelGrid.build(model, 1.0)
+        with pytest.raises(ValueError, match="non-zero"):
+            traverse_rays(grid, np.zeros((1, 3)), np.zeros((1, 3)))
+
+
+class TestBatchedTraffic:
+    def test_batch_matches_per_voxel_merge(self):
+        model = make_model(num_gaussians=400, extent=5.0, seed=6)
+        grid = VoxelGrid.build(model, 1.0)
+        layout = DataLayout(grid=grid, use_vq=False)
+        rng = np.random.default_rng(0)
+        voxel_ids = np.arange(grid.num_voxels, dtype=np.int64)
+        passed = rng.integers(0, grid.voxel_counts + 1)
+        merged = LayoutTraffic()
+        for voxel_id, count in zip(voxel_ids, passed):
+            merged = merged.merge(
+                layout.voxel_stream_traffic(int(voxel_id), int(count))
+            )
+        assert layout.voxel_stream_traffic_batch(voxel_ids, passed) == merged
+
+    def test_batch_validates_bounds(self):
+        model = make_model(num_gaussians=100, seed=2)
+        grid = VoxelGrid.build(model, 1.0)
+        layout = DataLayout(grid=grid, use_vq=False)
+        with pytest.raises(ValueError):
+            layout.voxel_stream_traffic_batch(
+                np.array([0]), np.array([int(grid.voxel_counts[0]) + 1])
+            )
+        assert layout.voxel_stream_traffic_batch(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        ) == LayoutTraffic()
+
+
+class TestParallelTileRendering:
+    @pytest.mark.parametrize("streaming_kernel", STREAMING_KERNELS)
+    def test_parallel_tiles_match_serial(self, streaming_kernel):
+        model = make_model(num_gaussians=350, extent=5.0, scale=0.12, seed=5)
+        camera = make_camera(width=64, height=48, distance=6.0)
+        renderer = StreamingRenderer(
+            model,
+            StreamingConfig(
+                voxel_size=1.0, use_vq=False, streaming_kernel=streaming_kernel
+            ),
+        )
+        serial = renderer.render(camera)
+        parallel = renderer.render(camera, tile_workers=4)
+        # Tiles are independent: images are identical, not merely close.
+        np.testing.assert_array_equal(parallel.image, serial.image)
+        np.testing.assert_array_equal(parallel.alpha, serial.alpha)
+        equal, detail = streaming_stats_equal(serial.stats, parallel.stats)
+        assert equal, detail
+        assert parallel.telemetry["tile_workers"] == 4
+        assert serial.telemetry["tile_workers"] == 1
+
+    def test_parallel_render_is_deterministic(self):
+        model = make_model(num_gaussians=250, extent=4.0, seed=12)
+        camera = make_camera(width=48, height=32)
+        renderer = StreamingRenderer(
+            model, StreamingConfig(voxel_size=1.0, use_vq=False)
+        )
+        first = renderer.render(camera, tile_workers=3)
+        second = renderer.render(camera, tile_workers=3)
+        np.testing.assert_array_equal(first.image, second.image)
+        np.testing.assert_array_equal(
+            first.stats.gaussian_blend_weight, second.stats.gaussian_blend_weight
+        )
+        assert first.stats.sort_list_lengths == second.stats.sort_list_lengths
+
+    def test_tile_workers_validated(self):
+        model = make_model(num_gaussians=50, seed=1)
+        renderer = StreamingRenderer(model, StreamingConfig(voxel_size=1.0, use_vq=False))
+        with pytest.raises(ValueError, match="tile_workers"):
+            renderer.render(make_camera(width=32, height=32), tile_workers=0)

@@ -89,3 +89,35 @@ def test_renderer_cache_eviction(scene):
 
 def test_default_service_is_shared():
     assert get_default_service() is get_default_service()
+
+
+def test_parallel_tile_rendering_through_service(scene):
+    model, camera, config = scene
+    service = RenderService()
+    request = RenderRequest(model=model, camera=camera, config=config)
+    serial = service.render(request)
+    parallel = service.render(request, tile_workers=3)
+    np.testing.assert_array_equal(parallel.image, serial.image)
+    np.testing.assert_array_equal(parallel.alpha, serial.alpha)
+    assert parallel.stats.blended_fragments == serial.stats.blended_fragments
+    stats = service.stats()
+    assert stats["parallel_tile_frames"] == 1
+    assert stats["last_frame"]["tile_workers"] == 3
+    assert stats["last_frame"]["streaming_kernel"] == config.streaming_kernel
+    assert stats["last_frame"]["seconds"] > 0.0
+
+
+def test_frame_telemetry_recorded_per_streaming_render(scene):
+    model, camera, config = scene
+    service = RenderService()
+    assert service.stats()["last_frame"] is None
+    service.render(RenderRequest(model=model, camera=camera, config=config))
+    telemetry = service.stats()["last_frame"]
+    assert telemetry["tile_workers"] == 1
+    assert telemetry["tiles"] > 0
+    assert service.stats()["parallel_tile_frames"] == 0
+    # Tile-mode renders leave the streaming telemetry untouched.
+    service.render(
+        RenderRequest(model=model, camera=camera, config=config, mode="tile")
+    )
+    assert service.stats()["last_frame"] == telemetry
