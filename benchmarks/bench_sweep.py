@@ -13,7 +13,11 @@ so the shards are independent), times it three ways —
 * **warm pool** — two consecutive ``run_sweep`` calls on one
   :class:`Session`, asserting the second reuses the persistent worker
   pool (``ExecutionReport.worker_reuse >= 1``) instead of paying pool
-  startup again
+  startup again;
+* **warm contexts** — a single-context grid run twice through one
+  session's process pool, asserting the second run adopts the zero-copy
+  shm-broadcast context (``ExecutionReport.context_rebuilds == 0``)
+  instead of rebuilding it in every worker
 
 — verifies they produce bit-identical :class:`SweepResult` tables
 (``meta`` carries run telemetry and legitimately differs), and appends the
@@ -107,7 +111,7 @@ def main(argv=None) -> int:
     print(
         f"parallel jobs={args.jobs}  : {parallel_s:6.2f}s "
         f"({executor.report.shards} shards, mode={executor.report.mode}, "
-        f"speedup {speedup:.2f}x)"
+        f"speedup {speedup:.2f}x, pickled {executor.report.pickled_bytes} B)"
     )
 
     parity_ok = parallel.table_dict() == serial.table_dict()
@@ -131,6 +135,27 @@ def main(argv=None) -> int:
     print(
         f"warm pool        : {pool_cold_s:6.2f}s cold, {pool_warm_s:6.2f}s warm "
         f"(reuse={pool_reuse}, {'ok' if pool_ok else 'FAIL'})"
+    )
+
+    # Warm-context behaviour: a single-context grid run twice through one
+    # session's persistent process pool.  The first run broadcasts the
+    # scene context as a zero-copy shm package; the second must adopt warm
+    # worker contexts (or the broadcast package) and rebuild **nothing**.
+    ctx_specs = sweep(base, num_hfu=(1, 2, 3, 4, 5, 6, 7, 8))
+    with Session(jobs=args.jobs) as ctx_session:
+        ctx_cold = SweepExecutor(jobs=args.jobs, mode="process", split_threshold=8)
+        ctx_cold.run(ctx_specs, swept=["num_hfu"], session=ctx_session)
+        ctx_warm = SweepExecutor(jobs=args.jobs, mode="process", split_threshold=8)
+        ctx_warm.run(ctx_specs, swept=["num_hfu"], session=ctx_session)
+        ctx_rebuilds = ctx_warm.report.context_rebuilds
+        ctx_mode = ctx_warm.report.mode
+        shm_segments = ctx_warm.report.shm_segments
+        pickled_bytes = ctx_warm.report.pickled_bytes
+    warm_ctx_ok = ctx_mode != "process" or ctx_rebuilds == 0
+    print(
+        f"warm contexts    : mode={ctx_mode} rebuilds={ctx_rebuilds} "
+        f"shm_segments={shm_segments} pickled={pickled_bytes} B "
+        f"({'ok' if warm_ctx_ok else 'FAIL'})"
     )
 
     # Result-store behaviour: cold run misses and populates, warm run hits
@@ -174,6 +199,14 @@ def main(argv=None) -> int:
         "parity_ok": parity_ok,
         "cache_ok": cold_ok and warm_ok,
         "pool_ok": pool_ok,
+        "parallel_mode": executor.report.mode,
+        "pickled_bytes": executor.report.pickled_bytes,
+        "warm_ctx_mode": ctx_mode,
+        "warm_ctx_rebuilds": ctx_rebuilds,
+        "warm_ctx_shm_segments": shm_segments,
+        "warm_ctx_pickled_bytes": pickled_bytes,
+        "warm_ctx_ok": warm_ctx_ok,
+        "speedup_gate": "enforced" if (os.cpu_count() or 1) >= 2 else "skipped",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     append_trajectory(args.output, entry)
@@ -186,6 +219,13 @@ def main(argv=None) -> int:
             failed = True
         if not (cold_ok and warm_ok):
             print("FAIL: result-store cold/warm behaviour is wrong", file=sys.stderr)
+            failed = True
+        if not warm_ctx_ok:
+            print(
+                "FAIL: warm process workers rebuilt broadcast contexts "
+                f"(mode={ctx_mode}, rebuilds={ctx_rebuilds})",
+                file=sys.stderr,
+            )
             failed = True
         if not pool_ok:
             print(

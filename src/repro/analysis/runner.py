@@ -312,7 +312,12 @@ def _write_telemetry(path: str, payload: Dict[str, Any]) -> None:
 
 
 def _main_scheduled(names, args, options_for, store) -> int:
-    """``runner all --jobs N``: whole experiments across a process pool."""
+    """``runner all --jobs N``: whole experiments across the session pool.
+
+    The fan-out runs on the process-wide default session's persistent
+    :class:`~repro.api.pool.WorkerPool` rather than an ephemeral pool, so
+    repeated scheduled invocations in one process reuse warm workers.
+    """
     from repro.api.executor import schedule_experiments
 
     try:
@@ -321,6 +326,7 @@ def _main_scheduled(names, args, options_for, store) -> int:
             jobs=args.jobs,
             options=options_for,
             cache_dir=str(store.root) if store is not None else None,
+            session=get_default_session(),
         )
     except TypeError as error:
         if not any(options_for.values()) or not _rejected_options(error):

@@ -51,7 +51,15 @@ from repro.api.spec import (
     sweep,
 )
 from repro.api.store import ResultStore, append_trajectory, atomic_write_json, spec_key
-from repro.api.pool import WorkerPool
+from repro.api.pool import WorkerPool, worker_session
+from repro.api.shm import (
+    SharedArrayHandle,
+    SharedMemoryUnavailable,
+    ShmPackage,
+    ShmRegistry,
+    leaked_segments,
+    shm_available,
+)
 from repro.api.executor import (
     ExecutionReport,
     ScheduleReport,
@@ -70,6 +78,10 @@ __all__ = [
     "ResultStore",
     "ScheduleReport",
     "Session",
+    "SharedArrayHandle",
+    "SharedMemoryUnavailable",
+    "ShmPackage",
+    "ShmRegistry",
     "SpecEvaluationError",
     "SweepExecutor",
     "SweepResult",
@@ -78,8 +90,11 @@ __all__ = [
     "atomic_write_json",
     "get_default_session",
     "jsonify",
+    "leaked_segments",
     "reset_default_session",
     "schedule_experiments",
+    "shm_available",
     "spec_key",
     "sweep",
+    "worker_session",
 ]

@@ -44,6 +44,7 @@ import concurrent.futures
 from concurrent.futures.process import BrokenProcessPool
 from concurrent.futures.thread import BrokenThreadPool
 import math
+import pickle
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -62,6 +63,7 @@ from typing import (
 )
 
 from repro.api.result import ExperimentResult, SweepResult
+from repro.api.shm import ShmPackage, ShmRegistry
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ResultStore, resolve_store
 
@@ -183,12 +185,17 @@ class ShardUnit:
 
     Sub-shards carry the scene context the caller built (``context``); the
     worker adopts it instead of rebuilding, which is what makes splitting a
-    single-context grid profitable.
+    single-context grid profitable.  For process dispatch the context
+    additionally travels as a shared-memory ``package``
+    (:class:`~repro.api.shm.ShmPackage`) — the pickled payload is metadata
+    plus small fields, the model/image arrays stay in shared segments — so
+    broadcasting never copies the heavy state per task.
     """
 
     members: List[Tuple[int, ExperimentSpec]]
     is_sub_shard: bool = False
     context: Optional["SceneContext"] = None
+    package: Optional[ShmPackage] = None
 
 
 def _worker_id() -> str:
@@ -200,27 +207,43 @@ def _worker_id() -> str:
 
 
 def _evaluate_shard(
-    specs: Sequence[ExperimentSpec], seed: int, context: Optional["SceneContext"] = None
+    specs: Sequence[ExperimentSpec],
+    seed: int,
+    context: Optional["SceneContext"] = None,
+    package: Optional[ShmPackage] = None,
 ) -> Dict[str, Any]:
-    """Worker entry point: evaluate one dispatch unit in a fresh session.
+    """Worker entry point: evaluate one dispatch unit.
 
-    Runs in a pool worker (process or thread); builds a private
-    :class:`~repro.api.session.Session` so no state is shared with the
-    caller, adopts the broadcast ``context`` when the unit is a sub-shard
-    (so no worker rebuilds it), and returns plain ``to_dict()`` payloads
-    (cheap to pickle, lossless to reconstruct) plus unit telemetry.
+    Runs in a pool worker.  Process workers keep one **warm session**
+    alive across tasks and sweeps (:func:`repro.api.pool.worker_session`),
+    so a context already built or adopted by an earlier task is a cache
+    hit — no rebuild per task; thread workers get a private session so no
+    state is shared with the caller.  A broadcast context arrives either
+    by reference (``context``, thread dispatch) or as a shared-memory
+    package (``package``, process dispatch) and is adopted only when the
+    warm session does not already hold it.  Returns plain ``to_dict()``
+    payloads (cheap to pickle, lossless to reconstruct) plus unit
+    telemetry, including how many contexts this task actually built
+    (``context_builds`` — the rebuild accounting of the zero-copy claim).
     """
-    from repro.api.session import Session
+    from repro.api.pool import worker_session
 
     start = time.perf_counter()
-    session = Session(seed=seed)
-    if context is not None:
-        session.adopt_context(specs[0], context)
+    session = worker_session(seed)
+    warm = session.has_context(specs[0])
+    if not warm:
+        if context is None and package is not None:
+            context = package.unpack()
+        if context is not None:
+            session.adopt_context(specs[0], context)
+    builds_before = session.context_misses
     payloads = [result.to_dict() for result in session.run_many(list(specs))]
     return {
         "results": payloads,
         "elapsed_s": time.perf_counter() - start,
         "worker": _worker_id(),
+        "context_builds": session.context_misses - builds_before,
+        "warm_context": warm,
     }
 
 
@@ -251,6 +274,22 @@ class ExecutionReport:
     worker_reuse: int = 0
     wall_time_s: float = 0.0
     split_threshold: int = SHARD_SPLIT_THRESHOLD
+    #: Zero-copy transport accounting: shared-memory segments referenced by
+    #: dispatched context packages, bytes actually pickled across the
+    #: process boundary (specs + package payloads — not the arrays), and
+    #: how many scene contexts pool workers *built* rather than received
+    #: via broadcast or warm-session reuse (0 = fully zero-rebuild).
+    shm_segments: int = 0
+    shm_bytes: int = 0
+    pickled_bytes: int = 0
+    context_rebuilds: int = 0
+    warm_contexts: int = 0
+    #: Degradation bookkeeping: the mode the run started in (empty when it
+    #: never degraded), why it degraded, and the mode each dispatch unit
+    #: actually executed in.  ``mode`` reports the majority unit mode.
+    degraded_from: str = ""
+    degraded_reason: str = ""
+    unit_modes: List[str] = field(default_factory=list)
 
     @property
     def per_spec_seconds(self) -> Optional[float]:
@@ -284,17 +323,34 @@ class ExecutionReport:
             "pool": self.pool,
             "worker_reuse": self.worker_reuse,
             "wall_time_s": round(self.wall_time_s, 6),
+            "shm_segments": self.shm_segments,
+            "shm_bytes": self.shm_bytes,
+            "pickled_bytes": self.pickled_bytes,
+            "context_rebuilds": self.context_rebuilds,
+            "warm_contexts": self.warm_contexts,
+            "degraded_from": self.degraded_from,
+            "degraded_reason": self.degraded_reason,
+            "unit_modes": list(self.unit_modes),
         }
 
     def summary(self) -> str:
         """One-line telemetry (the runner's ``[execution]`` line)."""
-        return (
+        line = (
             f"mode={self.mode} jobs={self.jobs} shards={self.shards} "
             f"sub_shards={self.sub_shards} specs={self.specs} "
             f"store_hits={self.cache_hits} store_misses={self.cache_misses} "
             f"pool={self.pool} reuse={self.worker_reuse} "
+            f"shm_segments={self.shm_segments} "
+            f"pickled_bytes={self.pickled_bytes} "
+            f"context_rebuilds={self.context_rebuilds} "
             f"wall={self.wall_time_s:.2f}s"
         )
+        if self.degraded_from:
+            line += (
+                f" degraded_from={self.degraded_from}"
+                f" degraded_reason={self.degraded_reason!r}"
+            )
+        return line
 
 
 class SweepExecutor:
@@ -342,6 +398,10 @@ class SweepExecutor:
         self.seed = seed
         self.split_threshold = split_threshold
         self.report = ExecutionReport()
+        #: Registry backing broadcast packages of session-less runs,
+        #: created on demand and unlinked at the end of :meth:`run`.
+        self._local_registry: Optional[ShmRegistry] = None
+        self._unit_done: List[bool] = []
 
     # ------------------------------------------------------------------
     def shard(
@@ -431,15 +491,24 @@ class SweepExecutor:
             mode = self.choose_mode(len(units), len(pending))
             self.report.mode = mode
 
-            if mode == "serial":
-                # Serial never splits: one session walks the shards whole.
-                units = [ShardUnit(m) for m in shards]
-                self.report.sub_shards = len(units)
-                self.report.split_shards = 0
-                self.report.shard_sizes = [len(unit.members) for unit in units]
-                self._run_serial(units, results, session)
-            else:
-                self._run_pool(units, results, mode, session)
+            try:
+                if mode == "serial":
+                    # Serial never splits: one session walks the shards whole.
+                    units = [ShardUnit(m) for m in shards]
+                    self.report.sub_shards = len(units)
+                    self.report.split_shards = 0
+                    self.report.shard_sizes = [len(unit.members) for unit in units]
+                    self.report.unit_modes = ["serial"] * len(units)
+                    self._run_serial(units, results, session)
+                else:
+                    self._run_pool(units, results, mode, session)
+            finally:
+                # Segments published for an ephemeral (session-less) run
+                # are unlinked here — session-owned registries live until
+                # ``Session.close()`` so later sweeps reuse the packages.
+                if self._local_registry is not None:
+                    self._local_registry.close()
+                    self._local_registry = None
 
             if self.store is not None:
                 for index, spec in pending:
@@ -469,22 +538,26 @@ class SweepExecutor:
         self.report.shard_times_s = []
         self.report.workers = 1
         self.report.workers_used = 1
+        builds_before = session.context_misses
         for unit in units:
             start = time.perf_counter()
             evaluated = session.run_many([spec for _, spec in unit.members])
             self.report.shard_times_s.append(time.perf_counter() - start)
             for (index, _), result in zip(unit.members, evaluated):
                 results[index] = result
+        self.report.context_rebuilds += session.context_misses - builds_before
 
     def _broadcast_contexts(
-        self, units: List[ShardUnit], session: Optional["Session"]
+        self, units: List[ShardUnit], session: Optional["Session"], mode: str
     ) -> None:
         """Build each split shard's scene context once and attach it.
 
-        Sub-shards of one shard share a single context object (threads get
-        it by reference, process workers a pickled copy), so a split shard
-        costs one context build total — in the calling session, where it
-        stays cached for later runs.
+        Sub-shards of one shard share a single context object: threads get
+        it by reference; process workers receive a shared-memory package
+        (heavy arrays in shm segments, pickled payload is metadata-sized),
+        so a split shard costs one context build — in the calling session,
+        where both the context *and* its package stay cached for later
+        sweeps — and near-zero pickling per dispatch.
         """
         if not any(unit.is_sub_shard for unit in units):
             return
@@ -492,7 +565,11 @@ class SweepExecutor:
             from repro.api.session import Session
 
             session = Session(seed=self.seed)
+            if mode == "process":
+                # Session-less runs own their segments for just this run.
+                self._local_registry = ShmRegistry()
         contexts: Dict[Tuple, "SceneContext"] = {}
+        packages: Dict[Tuple, ShmPackage] = {}
         for unit in units:
             if not unit.is_sub_shard:
                 continue
@@ -501,7 +578,21 @@ class SweepExecutor:
             if key not in contexts:
                 contexts[key] = session.spec_context(first_spec)
             unit.context = contexts[key]
+            if mode == "process":
+                if key not in packages:
+                    if self._local_registry is not None:
+                        packages[key] = ShmPackage.pack(
+                            contexts[key], self._local_registry
+                        )
+                    else:
+                        packages[key] = session.context_package(first_spec)
+                unit.package = packages[key]
         self.report.broadcast_contexts = len(contexts)
+        distinct = {id(p): p for p in packages.values()}
+        self.report.shm_segments = sum(
+            len(p.segments) for p in distinct.values()
+        )
+        self.report.shm_bytes = sum(p.shared_bytes for p in distinct.values())
 
     def _run_pool(
         self,
@@ -513,39 +604,86 @@ class SweepExecutor:
         seed = session.seed if session is not None else self.seed
         workers = min(self.jobs, len(units))
         self.report.workers = workers
-        self._broadcast_contexts(units, session)
+        self._broadcast_contexts(units, session, mode)
         owner = session.worker_pool() if session is not None else None
         self.report.pool = "persistent" if owner is not None else "ephemeral"
+        self._unit_done = [False] * len(units)
+        self.report.unit_modes = [""] * len(units)
+        self.report.shard_times_s = [0.0] * len(units)
+        self._seen_workers: set = set()
 
+        degraded = False
         if mode == "process":
             # Process pools can fail lazily: construction succeeds but the
             # workers die at submit/fork time (rlimits, sandboxes, missing
-            # /dev/shm).  Either way, degrade to threads and recompute —
-            # unit evaluation is deterministic, so a partial first pass is
-            # simply overwritten.
+            # /dev/shm).  Either way, degrade to threads — recomputing only
+            # the units that never completed; unit evaluation is
+            # deterministic, so completed process units stand as-is.
             try:
                 self._collect_on(owner, "process", workers, units, results, seed)
-                return
             except SpecEvaluationError:
                 raise  # a grid point failed — that is the caller's error
-            except _POOL_FAILURES:
+            except _POOL_FAILURES as error:
                 if owner is not None:
                     owner.discard("process")
-                self.report.mode = "thread"
-        try:
-            self._collect_on(owner, "thread", workers, units, results, seed)
-        except SpecEvaluationError:
-            raise
-        except _POOL_FAILURES:
-            # Even threads cannot be spawned: finish the job serially.
-            if owner is not None:
-                owner.discard("thread")
-            self.report.mode = "serial"
-            self.report.pool = "none"
-            self._run_serial(units, results, session)
-            return
+                self.report.degraded_from = "process"
+                self.report.degraded_reason = f"{type(error).__name__}: {error}"
+                degraded = True
+        if mode == "thread" or degraded:
+            try:
+                self._collect_on(owner, "thread", workers, units, results, seed)
+            except SpecEvaluationError:
+                raise
+            except _POOL_FAILURES as error:
+                # Even threads cannot be spawned: finish the job serially.
+                if owner is not None:
+                    owner.discard("thread")
+                if not self.report.degraded_from:
+                    self.report.degraded_from = mode
+                self.report.degraded_reason = f"{type(error).__name__}: {error}"
+                self.report.pool = "none"
+                self._run_units_serial(units, results, session)
         if owner is not None:
             self.report.worker_reuse = owner.reuse_count
+        self.report.workers_used = max(
+            self.report.workers_used, len(self._seen_workers)
+        )
+        self.report.mode = self._majority_mode(self.report.mode)
+
+    def _majority_mode(self, fallback: str) -> str:
+        """The mode that executed most dispatch units (ties: heavier mode)."""
+        modes = [m for m in self.report.unit_modes if m]
+        if not modes:
+            return fallback
+        priority = {"process": 2, "thread": 1, "serial": 0}
+        counts: Dict[str, int] = {}
+        for m in modes:
+            counts[m] = counts.get(m, 0) + 1
+        return max(counts, key=lambda m: (counts[m], priority.get(m, -1)))
+
+    def _run_units_serial(
+        self,
+        units: List[ShardUnit],
+        results: List[Optional[ExperimentResult]],
+        session: Optional["Session"],
+    ) -> None:
+        """Serial last-resort pass over the units no pool completed."""
+        if session is None:
+            from repro.api.session import Session
+
+            session = Session(seed=self.seed)
+        builds_before = session.context_misses
+        for position, unit in enumerate(units):
+            if self._unit_done[position]:
+                continue
+            start = time.perf_counter()
+            evaluated = session.run_many([spec for _, spec in unit.members])
+            self.report.shard_times_s[position] = time.perf_counter() - start
+            for (index, _), result in zip(unit.members, evaluated):
+                results[index] = result
+            self._unit_done[position] = True
+            self.report.unit_modes[position] = "serial"
+        self.report.context_rebuilds += session.context_misses - builds_before
 
     def _collect_on(
         self,
@@ -560,14 +698,14 @@ class SweepExecutor:
         owns one, ephemeral (created and torn down here) otherwise."""
         if owner is not None:
             pool = owner.executor(mode, workers)
-            self._collect(pool, units, results, seed)
+            self._collect(pool, units, results, seed, mode)
             self.report.worker_reuse = owner.reuse_count
         elif mode == "process":
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                self._collect(pool, units, results, seed)
+                self._collect(pool, units, results, seed, mode)
         else:
             with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-                self._collect(pool, units, results, seed)
+                self._collect(pool, units, results, seed, mode)
 
     def _collect(
         self,
@@ -575,26 +713,39 @@ class SweepExecutor:
         units: List[ShardUnit],
         results: List[Optional[ExperimentResult]],
         seed: int,
+        mode: str,
     ) -> None:
-        self.report.shard_times_s = [0.0] * len(units)
-        futures = {
-            pool.submit(
-                _evaluate_shard,
-                [spec for _, spec in unit.members],
-                seed,
-                unit.context,
-            ): (position, unit)
-            for position, unit in enumerate(units)
-        }
-        seen_workers = set()
+        futures = {}
+        for position, unit in enumerate(units):
+            if self._unit_done[position]:
+                continue
+            specs = [spec for _, spec in unit.members]
+            # Threads share the caller's address space: the context rides
+            # by reference and nothing is pickled.  Processes get the
+            # shared-memory package (or nothing, for unsplit shards whose
+            # workers build — and then keep — the context themselves).
+            context = unit.context if mode == "thread" else None
+            package = unit.package if mode == "process" else None
+            if mode == "process":
+                self.report.pickled_bytes += len(
+                    pickle.dumps(specs, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                if package is not None:
+                    self.report.pickled_bytes += package.pickled_bytes
+            futures[
+                pool.submit(_evaluate_shard, specs, seed, context, package)
+            ] = (position, unit)
         for future in concurrent.futures.as_completed(futures):
             position, unit = futures[future]
             payload = future.result()
             self.report.shard_times_s[position] = payload["elapsed_s"]
-            seen_workers.add(payload["worker"])
+            self._seen_workers.add(payload["worker"])
             for (index, _), result in zip(unit.members, payload["results"]):
                 results[index] = ExperimentResult.from_dict(result)
-        self.report.workers_used = len(seen_workers)
+            self._unit_done[position] = True
+            self.report.unit_modes[position] = mode
+            self.report.context_rebuilds += int(payload.get("context_builds", 0))
+            self.report.warm_contexts += int(bool(payload.get("warm_context")))
 
 
 # ----------------------------------------------------------------------
@@ -614,6 +765,8 @@ class ScheduleReport:
     elapsed_s: Dict[str, float] = field(default_factory=dict)
     store_hits: int = 0
     store_misses: int = 0
+    pool: str = "none"
+    degraded_reason: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -627,15 +780,21 @@ class ScheduleReport:
             "elapsed_s": {name: round(t, 6) for name, t in self.elapsed_s.items()},
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
+            "pool": self.pool,
+            "degraded_reason": self.degraded_reason,
         }
 
     def summary(self) -> str:
         """One-line telemetry (the runner's ``[scheduler]`` line)."""
-        return (
+        line = (
             f"mode={self.mode} jobs={self.jobs} experiments={self.experiments} "
-            f"workers={self.workers} worker_reuse={self.worker_reuse} "
+            f"workers={self.workers} pool={self.pool} "
+            f"worker_reuse={self.worker_reuse} "
             f"wall={self.wall_time_s:.2f}s"
         )
+        if self.degraded_reason:
+            line += f" degraded_reason={self.degraded_reason!r}"
+        return line
 
 
 def schedule_experiments(
@@ -643,6 +802,7 @@ def schedule_experiments(
     jobs: int = 1,
     options: Optional[Mapping[str, Mapping[str, Any]]] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    session: Optional["Session"] = None,
 ) -> Tuple[List[ExperimentResult], ScheduleReport]:
     """Run registry experiments, fanned out over a process pool.
 
@@ -650,9 +810,15 @@ def schedule_experiments(
     free; dispatch order is by descending ``cost_hint`` (heaviest first
     minimises makespan), results come back in the order of ``names``.
     ``options`` maps experiment names to builder kwargs; ``cache_dir``
-    points every worker at one shared disk store.  A pool that cannot be
-    created — or that breaks mid-run — degrades to in-process serial
-    execution of whatever is still missing.
+    points every worker at one shared disk store.  ``session`` routes the
+    fan-out through the session's persistent
+    :class:`~repro.api.pool.WorkerPool` — ``runner all`` passes the
+    process-wide default session, so repeated scheduled runs (and any
+    sweeps inside the experiments) reuse one warm pool instead of paying
+    worker startup per invocation; without a session an ephemeral pool is
+    created and torn down here.  A pool that cannot be created — or that
+    breaks mid-run — degrades to in-process serial execution of whatever
+    is still missing, with the reason recorded in the report.
     """
     from repro.api.experiments import get_experiment, run_experiment_payload
 
@@ -668,26 +834,40 @@ def schedule_experiments(
         dispatch = sorted(
             names, key=lambda name: definitions[name].cost_hint, reverse=True
         )
+        owner = session.worker_pool() if session is not None else None
+        report.pool = "persistent" if owner is not None else "ephemeral"
+
+        def _fan_out(pool: concurrent.futures.Executor) -> None:
+            futures = {
+                pool.submit(
+                    run_experiment_payload,
+                    name,
+                    options.get(name),
+                    str(cache_dir) if cache_dir else None,
+                ): name
+                for name in dispatch
+            }
+            for future in concurrent.futures.as_completed(futures):
+                payloads[futures[future]] = future.result()
+
         try:
-            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(
-                        run_experiment_payload,
-                        name,
-                        options.get(name),
-                        str(cache_dir) if cache_dir else None,
-                    ): name
-                    for name in dispatch
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    payloads[futures[future]] = future.result()
+            if owner is not None:
+                _fan_out(owner.executor("process", workers))
+            else:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                ) as pool:
+                    _fan_out(pool)
             report.mode = "process"
             report.workers = workers
         except (KeyboardInterrupt, SystemExit):
             raise
-        except _POOL_FAILURES:
+        except _POOL_FAILURES as error:
             # Keep whatever completed; the serial pass below fills the rest.
-            pass
+            if owner is not None:
+                owner.discard("process")
+            report.pool = "none"
+            report.degraded_reason = f"{type(error).__name__}: {error}"
 
     # Reuse is a pool property: only experiments that actually completed on
     # pool workers count, so a serial fallback never fabricates reuse.

@@ -17,10 +17,51 @@ the session registers, so leaked sessions never hang interpreter exit.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Dict, Optional
+import multiprocessing
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.session import Session
 
 #: Pool modes a :class:`WorkerPool` can serve.
 POOL_MODES = ("process", "thread")
+
+# ----------------------------------------------------------------------
+# Warm per-worker sessions.
+# ----------------------------------------------------------------------
+#: The warm session of *this* process when it is a pool worker: one
+#: session per worker process, kept across tasks and sweeps, so scene
+#: contexts built (or adopted from a broadcast package) by an earlier task
+#: are cache hits — the "no rebuild of non-broadcast contexts per task"
+#: half of the zero-copy execution layer.  Never populated in the main
+#: process.
+_WORKER_SESSION: Optional["Session"] = None
+
+
+def worker_session(seed: int) -> "Session":
+    """The session a pool worker should evaluate tasks in.
+
+    In a worker *process* (anything with a parent process) this returns a
+    warm session kept for the process's lifetime — rebuilt only when the
+    requested seed changes, so repeated sweeps with one seed share every
+    context the worker ever built.  In the main process (thread-pool
+    workers, direct calls) it returns a fresh private session: threads
+    must not share mutable session state with each other or the caller.
+    """
+    global _WORKER_SESSION
+    from repro.api.session import Session
+
+    if multiprocessing.parent_process() is None:
+        return Session(seed=seed)
+    if _WORKER_SESSION is None or _WORKER_SESSION.seed != seed:
+        _WORKER_SESSION = Session(seed=seed)
+    return _WORKER_SESSION
+
+
+def reset_worker_session() -> None:
+    """Drop the warm worker session (tests)."""
+    global _WORKER_SESSION
+    _WORKER_SESSION = None
 
 
 class WorkerPool:

@@ -131,6 +131,10 @@ class Session:
         self.store = resolve_store(store)
         self._contexts: "OrderedDict[Tuple, SceneContext]" = OrderedDict()
         self._pool: Optional[WorkerPool] = None
+        #: Shared-memory registry + per-context-key package cache backing
+        #: zero-copy context broadcast (created lazily by parallel sweeps).
+        self._shm_registry = None
+        self._context_packages: Dict[Tuple, Any] = {}
         #: :class:`~repro.api.executor.ExecutionReport` of the most recent
         #: :meth:`run_sweep` (telemetry; also in ``SweepResult.meta``).
         self.last_execution = None
@@ -255,6 +259,60 @@ class Session:
             resolution_scale=spec.resolution_scale,
             config=spec.streaming_config(),
         )
+
+    def has_context(self, spec: ExperimentSpec) -> bool:
+        """Whether ``spec``'s scene context is already cached (no counters).
+
+        Pool workers use this to decide if a broadcast context even needs
+        unpacking: a warm worker session that evaluated the same context
+        group before skips both the unpack and the adopt.
+        """
+        key = (
+            spec.scene,
+            spec.algorithm,
+            spec.streaming_config(),
+            float(spec.resolution_scale),
+        )
+        return key in self._contexts
+
+    def context_package(self, spec: ExperimentSpec) -> "ShmPackage":
+        """The shared-memory package of ``spec``'s scene context, cached.
+
+        Packs the context once per context key into the session's
+        :class:`~repro.api.shm.ShmRegistry` — model parameters, images and
+        workload arrays land in shared segments; the package payload that
+        gets pickled per pool dispatch is metadata-sized.  Cached, so
+        repeated sweeps over the same context republish nothing.  The
+        backing segments are unlinked by :meth:`close` (or at interpreter
+        exit).
+        """
+        from repro.api.shm import ShmPackage
+
+        key = (
+            spec.scene,
+            spec.algorithm,
+            spec.streaming_config(),
+            float(spec.resolution_scale),
+        )
+        package = self._context_packages.get(key)
+        if package is None:
+            package = ShmPackage.pack(self.spec_context(spec), self.shm_registry())
+            self._context_packages[key] = package
+        return package
+
+    def shm_registry(self) -> "ShmRegistry":
+        """The session's shared-memory registry, created lazily.
+
+        Owns every segment the session publishes (context packages,
+        broadcast payloads); :meth:`close` unlinks them all, with an
+        ``atexit`` backstop inside the registry itself for forgotten
+        sessions.
+        """
+        from repro.api.shm import ShmRegistry
+
+        if self._shm_registry is None or self._shm_registry.closed:
+            self._shm_registry = ShmRegistry()
+        return self._shm_registry
 
     def adopt_context(self, spec: ExperimentSpec, context: SceneContext) -> None:
         """Seed the context cache with an externally built context.
@@ -492,6 +550,13 @@ class Session:
             self._pool.shutdown()
             self._pool = None
         self._contexts.clear()
+        self._context_packages.clear()
+        if self._shm_registry is not None:
+            # Unlink every shared segment the session published; workers
+            # of the (just shut down) pool held only attachments, which
+            # never block an unlink.
+            self._shm_registry.close()
+            self._shm_registry = None
         if self._owns_service:
             self.service.close()
 

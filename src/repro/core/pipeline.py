@@ -59,6 +59,11 @@ from repro.gaussians.tiles import TileGrid
 #: Registered streaming per-voxel render paths (``StreamingConfig.streaming_kernel``).
 STREAMING_KERNELS = ("reference", "vectorized")
 
+#: How parallel tiles execute: ``auto`` picks processes (zero-copy shared
+#: memory, real core scaling) and degrades to threads when processes are
+#: unusable; the explicit modes force one path.
+TILE_MODES = ("auto", "process", "thread")
+
 
 @dataclass
 class StreamingStats:
@@ -313,7 +318,12 @@ class StreamingRenderer:
         return preparation
 
     # ------------------------------------------------------------------
-    def render(self, camera: Camera, tile_workers: int = 1) -> StreamingRenderOutput:
+    def render(
+        self,
+        camera: Camera,
+        tile_workers: int = 1,
+        tile_mode: str = "auto",
+    ) -> StreamingRenderOutput:
         """Render one frame voxel-by-voxel.
 
         Parameters
@@ -321,15 +331,28 @@ class StreamingRenderer:
         camera:
             The rendering camera.
         tile_workers:
-            Number of threads rendering independent tiles concurrently.
+            Number of workers rendering independent tiles concurrently.
             ``1`` (default) renders tiles in order on the calling thread.
             With more workers each tile accumulates into a private
             statistics record and the frame merges them in tile id order,
             so images are identical and statistics deterministic
-            regardless of thread scheduling.
+            regardless of worker scheduling.
+        tile_mode:
+            How parallel tiles execute (ignored with one worker).
+            ``"auto"`` (default) uses a process pool over shared memory —
+            the path that actually scales with cores — and silently
+            degrades to threads when processes are unusable (daemonic
+            caller, no shared memory, pool failure); the telemetry records
+            the mode taken and the degradation reason.  ``"process"`` and
+            ``"thread"`` force the respective path (a forced process path
+            still degrades rather than failing the render).
         """
         if tile_workers < 1:
             raise ValueError(f"tile_workers must be >= 1, got {tile_workers}")
+        if tile_mode not in TILE_MODES:
+            raise ValueError(
+                f"tile_mode must be one of {TILE_MODES}, got {tile_mode!r}"
+            )
         config = self.config
         started = time.perf_counter()
         tile_grid = TileGrid(camera.width, camera.height, config.tile_size)
@@ -354,11 +377,38 @@ class StreamingRenderer:
         )
 
         workers = min(tile_workers, tile_grid.num_tiles)
+        parallel_telemetry: Dict[str, object] = {"tile_mode": "serial"}
         if workers > 1:
-            self._render_tiles_parallel(
-                camera, tile_grid, preparation, image, alpha_img, stats,
-                render_tile, workers,
-            )
+            mode = "process" if tile_mode == "auto" else tile_mode
+            if mode == "process":
+                from repro.engine.tile_parallel import (
+                    TileParallelUnavailable,
+                    render_tiles_process,
+                )
+
+                try:
+                    parallel_telemetry = render_tiles_process(
+                        self, camera, tile_grid, image, alpha_img, stats,
+                        render_tile.__name__, workers,
+                    )
+                except TileParallelUnavailable as error:
+                    # The process attempt mutates nothing until every
+                    # worker has returned, so the thread path starts from
+                    # pristine buffers and statistics.
+                    parallel_telemetry = {
+                        "tile_mode": "thread",
+                        "tile_mode_degraded": str(error),
+                    }
+                    self._render_tiles_parallel(
+                        camera, tile_grid, preparation, image, alpha_img, stats,
+                        render_tile, workers,
+                    )
+            else:
+                parallel_telemetry = {"tile_mode": "thread"}
+                self._render_tiles_parallel(
+                    camera, tile_grid, preparation, image, alpha_img, stats,
+                    render_tile, workers,
+                )
         else:
             for tile_id in range(tile_grid.num_tiles):
                 bounds = tile_grid.tile_pixel_bounds(tile_id)
@@ -380,6 +430,7 @@ class StreamingRenderer:
                 "streaming_kernel": "vectorized" if vectorized_path else "reference",
                 "tile_workers": workers,
                 "tiles": tile_grid.num_tiles,
+                **parallel_telemetry,
                 "seconds": time.perf_counter() - started,
             },
         )

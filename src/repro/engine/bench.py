@@ -209,6 +209,16 @@ class StreamingBenchResult:
     gaussians_streamed: int = 0
     blended_fragments: int = 0
     filtering_reduction: float = 0.0
+    #: Parallel-path execution record (populated when ``tile_workers > 1``):
+    #: the mode that actually ran (process / thread after degradation), the
+    #: parity of the parallel frame against the serial vectorized one, and
+    #: the zero-copy accounting of the process path.
+    tile_mode: str = ""
+    parallel_image_delta: float = 0.0
+    parallel_stats_equal: bool = True
+    parallel_stats_detail: str = ""
+    shm_segments: int = 0
+    pickled_bytes: int = 0
 
     @property
     def speedup(self) -> float:
@@ -240,6 +250,12 @@ class StreamingBenchResult:
             "gaussians_streamed": self.gaussians_streamed,
             "blended_fragments": self.blended_fragments,
             "filtering_reduction": self.filtering_reduction,
+            "tile_mode": self.tile_mode,
+            "parallel_image_delta": self.parallel_image_delta,
+            "parallel_stats_equal": self.parallel_stats_equal,
+            "parallel_stats_detail": self.parallel_stats_detail,
+            "shm_segments": self.shm_segments,
+            "pickled_bytes": self.pickled_bytes,
         }
 
     def format(self) -> str:
@@ -257,9 +273,17 @@ class StreamingBenchResult:
         )
         if self.tile_workers > 1:
             lines.append(
-                f"  parallel tiles ({self.tile_workers} workers): "
-                f"{self.parallel_speedup:.2f}x over serial tiles"
+                f"  parallel tiles ({self.tile_workers} workers, "
+                f"{self.tile_mode or 'unmeasured'} mode): "
+                f"{self.parallel_speedup:.2f}x over serial tiles; "
+                f"max |image delta| = {self.parallel_image_delta:.3g}; "
+                f"stats {'EQUAL' if self.parallel_stats_equal else 'DIFFER: ' + self.parallel_stats_detail}"
             )
+            if self.tile_mode == "process":
+                lines.append(
+                    f"  zero-copy transport: {self.shm_segments} shm segment(s), "
+                    f"{self.pickled_bytes} pickled bytes per dispatch"
+                )
         return "\n".join(lines)
 
 
@@ -271,6 +295,7 @@ def run_streaming_benchmark(
     seed: int = 7,
     voxel_size: float = 0.5,
     tile_workers: int = 0,
+    tile_mode: str = "auto",
     config: Optional[StreamingConfig] = None,
 ) -> StreamingBenchResult:
     """Time the streaming reference loop against the vectorized fast path.
@@ -278,7 +303,11 @@ def run_streaming_benchmark(
     Frame preparation (ray traversal, topological sort) is warmed first so
     the timings isolate the per-voxel render path the two kernels differ
     in.  ``tile_workers > 1`` additionally times the vectorized path with
-    parallel tile rendering (reported, not part of the speedup gate).
+    parallel tile rendering (process-based over shared memory by default;
+    ``tile_mode`` selects the path) and records the parallel frame's
+    parity against the serial one plus the zero-copy transport accounting.
+    A warm-up parallel render runs untimed first so pool start-up and the
+    one-time frame publication do not bias the steady-state timing.
     """
     model = benchmark_scene(num_gaussians=num_gaussians, seed=seed)
     camera = benchmark_camera(width=width, height=height)
@@ -311,13 +340,28 @@ def run_streaming_benchmark(
             outputs[name] = renderer.render(camera)
             best[name] = min(best[name], time.perf_counter() - start)
     if tile_workers > 1:
+        parallel_output = renderers["vectorized"].render(
+            camera, tile_workers=tile_workers, tile_mode=tile_mode
+        )
+        result.tile_mode = str(parallel_output.telemetry.get("tile_mode", ""))
+        result.shm_segments = int(parallel_output.telemetry.get("shm_segments", 0))
+        result.pickled_bytes = int(parallel_output.telemetry.get("pickled_bytes", 0))
         best["vectorized_parallel"] = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
-            renderers["vectorized"].render(camera, tile_workers=tile_workers)
+            renderers["vectorized"].render(
+                camera, tile_workers=tile_workers, tile_mode=tile_mode
+            )
             best["vectorized_parallel"] = min(
                 best["vectorized_parallel"], time.perf_counter() - start
             )
+        serial_vectorized = outputs["vectorized"]
+        result.parallel_image_delta = float(
+            np.max(np.abs(parallel_output.image - serial_vectorized.image))
+        )
+        result.parallel_stats_equal, result.parallel_stats_detail = (
+            streaming_stats_equal(serial_vectorized.stats, parallel_output.stats)
+        )
     result.seconds = dict(best)
 
     reference, vectorized = outputs["reference"], outputs["vectorized"]

@@ -149,13 +149,16 @@ class RenderService:
         request: RenderRequest,
         _fingerprint: Optional[str] = None,
         tile_workers: int = 1,
+        tile_mode: str = "auto",
     ) -> RenderResponse:
         """Serve one request.
 
         ``tile_workers`` fans the streaming render's independent tiles over
-        a thread pool (:meth:`StreamingRenderer.render`); images are
-        identical and statistics deterministic regardless of scheduling,
-        with the per-frame telemetry recorded in :attr:`last_frame`.
+        parallel workers (:meth:`StreamingRenderer.render`); ``tile_mode``
+        picks the path (``"auto"`` = shared-memory processes, degrading to
+        threads).  Images are identical and statistics deterministic
+        regardless of scheduling, with the per-frame telemetry (including
+        the mode actually taken) recorded in :attr:`last_frame`.
         ``_fingerprint`` is internal: :meth:`render_batch` passes the model
         hash it already computed for grouping, so a batch hashes each model
         once instead of once per request.
@@ -168,7 +171,7 @@ class RenderService:
         else:
             output = self.streaming_renderer(
                 request.model, config, fingerprint=_fingerprint
-            ).render(request.camera, tile_workers=tile_workers)
+            ).render(request.camera, tile_workers=tile_workers, tile_mode=tile_mode)
             self.last_frame = dict(output.telemetry)
             if output.telemetry.get("tile_workers", 1) > 1:
                 self.parallel_tile_frames += 1
@@ -176,7 +179,10 @@ class RenderService:
         return RenderResponse(request=request, output=output)
 
     def render_batch(
-        self, requests: Iterable[RenderRequest], tile_workers: int = 1
+        self,
+        requests: Iterable[RenderRequest],
+        tile_workers: int = 1,
+        tile_mode: str = "auto",
     ) -> List[RenderResponse]:
         """Serve many requests, sharing renderers and prepared frames.
 
@@ -207,7 +213,10 @@ class RenderService:
         for (fingerprint, _), group in groups.items():
             for i, request in group:
                 responses[i] = self.render(
-                    request, _fingerprint=fingerprint, tile_workers=tile_workers
+                    request,
+                    _fingerprint=fingerprint,
+                    tile_workers=tile_workers,
+                    tile_mode=tile_mode,
                 )
         for i, request in indexed:
             if request.mode != "streaming":

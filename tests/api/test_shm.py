@@ -1,0 +1,234 @@
+"""Lifecycle suite for the zero-copy shared-memory layer.
+
+The promises under test: a :class:`~repro.api.shm.SharedArrayHandle`
+round-trips exact bytes through pickling and reattach; a
+:class:`~repro.api.shm.ShmRegistry` unlinks every segment it created —
+after ``Session.close()``, after a worker dies mid-render, and after a
+``KeyboardInterrupt`` lands in the middle of a parallel dispatch; and the
+warm process workers of a session's persistent pool adopt broadcast
+contexts instead of rebuilding them (``context_rebuilds == 0`` on the
+second identical sweep).
+"""
+
+import concurrent.futures
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    Session,
+    SweepExecutor,
+    leaked_segments,
+    shm_available,
+    sweep,
+)
+from repro.api.shm import SharedMemoryUnavailable, ShmPackage, ShmRegistry
+from repro.core.config import StreamingConfig
+from repro.core.pipeline import StreamingRenderer
+from repro.engine import tile_parallel
+from repro.engine.bench import streaming_stats_equal
+from tests.conftest import make_camera, make_model
+
+needs_shm = pytest.mark.skipif(not shm_available(), reason="no shared memory")
+
+
+@pytest.fixture
+def shm_baseline():
+    """Segments alive before the test: other live registries (the process
+    default session, module fixtures) legitimately keep segments open, so
+    leak assertions compare against this snapshot, not against empty."""
+    return set(leaked_segments())
+
+
+def assert_no_new_segments(baseline):
+    assert set(leaked_segments()) <= baseline
+
+
+def make_renderer():
+    model = make_model(num_gaussians=250, extent=4.0, seed=12)
+    renderer = StreamingRenderer(model, StreamingConfig(voxel_size=1.0, use_vq=False))
+    return renderer, make_camera(width=48, height=32)
+
+
+class _DyingPool:
+    """A process pool whose futures fail like dead workers."""
+
+    def __init__(self, max_workers=None, mp_context=None):
+        pass
+
+    def submit(self, fn, *args, **kwargs):
+        future = concurrent.futures.Future()
+        future.set_exception(BrokenProcessPool("worker died mid-render"))
+        return future
+
+    def shutdown(self, wait=True, **kwargs):
+        pass
+
+
+class _InterruptedPool:
+    """A pool hit by Ctrl-C at dispatch time."""
+
+    def __init__(self, max_workers=None, mp_context=None):
+        pass
+
+    def submit(self, fn, *args, **kwargs):
+        raise KeyboardInterrupt
+
+    def shutdown(self, wait=True, **kwargs):
+        pass
+
+
+class TestHandleRoundTrip:
+    @needs_shm
+    def test_reattach_round_trips_exact_bytes(self, shm_baseline):
+        rng = np.random.default_rng(7)
+        payload = rng.standard_normal((512, 33))  # > the 32 KiB threshold
+        with ShmRegistry() as registry:
+            handle = registry.publish(payload)
+            assert handle.is_shared
+            clone = pickle.loads(pickle.dumps(handle))
+            attached = clone.array()
+            assert attached.tobytes() == payload.tobytes()
+            assert attached.dtype == payload.dtype
+            assert attached.shape == payload.shape
+            # The handle itself travels as metadata, not as the buffer.
+            assert len(pickle.dumps(handle)) < payload.nbytes / 100
+        assert_no_new_segments(shm_baseline)
+
+    @needs_shm
+    def test_package_round_trips_object_graph(self, shm_baseline):
+        rng = np.random.default_rng(3)
+        graph = {
+            "big": rng.standard_normal(20_000),
+            "small": np.arange(4),
+            "meta": ("x", 1.5),
+        }
+        with ShmRegistry() as registry:
+            package = ShmPackage.pack(graph, registry)
+            assert len(package.segments) >= 1
+            assert package.pickled_bytes < graph["big"].nbytes / 10
+            # Views are valid only while the registry lives (see
+            # SharedArrayHandle.array): compare before it closes.
+            out = pickle.loads(pickle.dumps(package)).unpack()
+            np.testing.assert_array_equal(out["big"], graph["big"])
+            np.testing.assert_array_equal(out["small"], graph["small"])
+            assert out["meta"] == graph["meta"]
+        assert_no_new_segments(shm_baseline)
+
+    def test_inline_fallback_when_shm_unavailable(self, monkeypatch):
+        monkeypatch.setattr("repro.api.shm._shared_memory", None)
+        registry = ShmRegistry()
+        handle = registry.publish(np.arange(100_000, dtype=np.float64))
+        assert not handle.is_shared
+        np.testing.assert_array_equal(
+            handle.array(), np.arange(100_000, dtype=np.float64)
+        )
+        assert registry.stats()["inline_fallbacks"] == 1
+        with pytest.raises(SharedMemoryUnavailable):
+            ShmRegistry(fallback_inline=False).publish(np.arange(100_000))
+        registry.close()
+
+
+@needs_shm
+class TestRegistryLifecycle:
+    def test_close_unlinks_everything(self, shm_baseline):
+        registry = ShmRegistry()
+        for seed in range(3):
+            registry.publish(np.full(20_000, float(seed)))
+        assert registry.stats()["segments_active"] == 3
+        registry.close()
+        assert registry.stats()["segments_active"] == 0
+        assert_no_new_segments(shm_baseline)
+        with pytest.raises(RuntimeError):
+            registry.publish(np.zeros(10))
+
+    def test_session_close_unlinks_context_packages(self, shm_baseline):
+        session = Session(seed=5)
+        spec = ExperimentSpec(scene="lego", resolution_scale=0.5)
+        package = session.context_package(spec)
+        assert len(package.segments) >= 1
+        assert session.context_package(spec) is package  # cached per key
+        session.close()
+        assert_no_new_segments(shm_baseline)
+
+
+@needs_shm
+class TestRenderFaults:
+    def test_successful_parallel_render_leaves_no_segments(self, shm_baseline):
+        renderer, camera = make_renderer()
+        output = renderer.render(camera, tile_workers=2)
+        assert output.telemetry["tile_mode"] in ("process", "thread")
+        assert_no_new_segments(shm_baseline)
+
+    def test_worker_death_degrades_to_threads_without_leaks(self, monkeypatch, shm_baseline):
+        renderer, camera = make_renderer()
+        serial = renderer.render(camera)
+        monkeypatch.setattr(tile_parallel, "_tile_pool", lambda workers: _DyingPool())
+        degraded = renderer.render(camera, tile_workers=2)
+        assert degraded.telemetry["tile_mode"] == "thread"
+        assert "tile_mode_degraded" in degraded.telemetry
+        np.testing.assert_array_equal(degraded.image, serial.image)
+        equal, detail = streaming_stats_equal(serial.stats, degraded.stats)
+        assert equal, detail
+        assert_no_new_segments(shm_baseline)
+
+    def test_keyboard_interrupt_mid_dispatch_leaves_no_segments(self, monkeypatch, shm_baseline):
+        renderer, camera = make_renderer()
+        monkeypatch.setattr(
+            tile_parallel, "_tile_pool", lambda workers: _InterruptedPool()
+        )
+        with pytest.raises(KeyboardInterrupt):
+            renderer.render(camera, tile_workers=2)
+        assert_no_new_segments(shm_baseline)
+        # The renderer is still usable afterwards on the serial path.
+        renderer.render(camera)
+
+
+@needs_shm
+class TestWarmContexts:
+    def test_repeated_sweep_rebuilds_nothing(self, shm_baseline):
+        specs = sweep(
+            ExperimentSpec(scene="lego", resolution_scale=0.5),
+            num_hfu=(1, 2, 3, 4, 5, 6, 7, 8),
+        )
+        session = Session(seed=9)
+        try:
+            serial = session.run_many(specs)
+            reports = []
+            for _ in range(2):
+                executor = SweepExecutor(jobs=2, mode="process", split_threshold=8)
+                result = executor.run(specs, swept=["num_hfu"], session=session)
+                reports.append(executor.report)
+                assert [r.metrics for r in result.results] == [
+                    r.metrics for r in serial
+                ]
+            cold, warm = reports
+            if warm.mode == "process":  # not degraded on this host
+                assert cold.shm_segments >= 1
+                assert warm.context_rebuilds == 0
+                assert warm.warm_contexts >= 1
+        finally:
+            session.close()
+        assert_no_new_segments(shm_baseline)
+
+    def test_executor_worker_death_leaves_no_segments(self, monkeypatch, shm_baseline):
+        specs = sweep(
+            ExperimentSpec(scene="lego", resolution_scale=0.5),
+            num_hfu=(1, 2, 3, 4, 5, 6, 7, 8),
+        )
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _DyingPool
+        )
+        session = Session(seed=9)
+        try:
+            executor = SweepExecutor(jobs=2, mode="process", split_threshold=8)
+            result = executor.run(specs, swept=["num_hfu"], session=session)
+            assert executor.report.degraded_from == "process"
+            assert executor.report.mode in ("thread", "serial")
+            assert len(result.results) == len(specs)
+        finally:
+            session.close()
+        assert_no_new_segments(shm_baseline)
