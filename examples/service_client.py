@@ -1,0 +1,96 @@
+"""Service-client demo: drive the render daemon over its wire protocol.
+
+Run with::
+
+    python examples/service_client.py                  # embedded daemon
+    python examples/service_client.py --connect HOST:PORT
+
+Without ``--connect`` the script starts a daemon on a background thread
+(the same embedding path the tests and benchmarks use), then exercises
+the full client surface against it: a ``ping``, two renders (the second
+hits the warm renderer cache), a small parameter sweep, a ``/healthz`` +
+``/metrics`` scrape over the daemon's HTTP shim, and a graceful
+drain-and-shutdown.  With ``--connect`` it talks to an already-running
+daemon (``repro-serve`` or ``python -m repro.analysis.runner serve``)
+and leaves it running.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.service import ServiceClient
+from repro.service.client import scrape_http
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="use a running daemon instead of starting an embedded one",
+    )
+    parser.add_argument("--scene", default="lego", help="scene to render")
+    parser.add_argument(
+        "--resolution-scale", type=float, default=0.25, help="render scale"
+    )
+    args = parser.parse_args(argv)
+
+    handle = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        address = ("tcp", host or "127.0.0.1", int(port))
+    else:
+        from repro.service import ServiceConfig, ServiceDaemon
+
+        handle = ServiceDaemon(ServiceConfig(port=0, workers=2)).start_in_thread()
+        address = handle.address
+        print(f"embedded daemon listening on {address[1]}:{address[2]}")
+
+    client = ServiceClient.connect(address, client="example", timeout=300.0)
+    try:
+        print("ping:", client.ping())
+
+        first = client.render(args.scene, resolution_scale=args.resolution_scale)
+        second = client.render(args.scene, resolution_scale=args.resolution_scale)
+        for label, response in (("cold", first), ("warm", second)):
+            if not response.ok:
+                raise SystemExit(f"render failed: [{response.code}] {response.error}")
+            result = response.result
+            print(
+                f"render ({label}): {result['scene']} "
+                f"{result['width']}x{result['height']} "
+                f"psnr={result['streaming_psnr']:.2f} "
+                f"sha={result['image_sha256']}"
+            )
+        assert first.result["image_sha256"] == second.result["image_sha256"]
+
+        sweep = client.sweep(
+            base={"scene": args.scene, "resolution_scale": args.resolution_scale},
+            num_hfu=[2, 4],
+        )
+        if not sweep.ok:
+            raise SystemExit(f"sweep failed: [{sweep.code}] {sweep.error}")
+        for label, metrics in zip(sweep.result["labels"], sweep.result["metrics"]):
+            print(f"sweep point {label}: {json.dumps(metrics)[:100]}")
+
+        health = scrape_http(address, "/healthz")
+        print("healthz:", json.dumps(health))
+        metrics = scrape_http(address, "/metrics")
+        print(
+            "metrics: accepted={accepted} completed={completed} "
+            "rejected={rejected}".format(**metrics["requests"])
+        )
+    finally:
+        if handle is not None:
+            client.shutdown(drain=True)
+            handle.join()
+            print("daemon drained and stopped")
+        client.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

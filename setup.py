@@ -1,9 +1,34 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so editable installs work on environments
-without the ``wheel`` package (legacy ``setup.py develop`` path).
+Carries the full package metadata (no ``pyproject.toml`` in this repo) so
+``pip install -e .`` works and installs the ``repro-serve`` console script
+for the service daemon.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="repro-streaminggs",
+    version=_VERSION,
+    description=(
+        "Reproduction of STREAMINGGS: voxel-based streaming 3D Gaussian "
+        "splatting, with a batched render engine, experiment harness and "
+        "an always-on render service daemon"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.service.cli:main",
+            "repro-run = repro.analysis.runner:main",
+        ]
+    },
+)

@@ -144,6 +144,14 @@ def _rejected_options(error: TypeError) -> bool:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # ``runner serve ...`` delegates to the service daemon CLI so the
+        # daemon is reachable without installing the repro-serve script.
+        from repro.service.cli import main as serve_main
+
+        return serve_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro.analysis.runner",
         description="Regenerate tables/figures of the STREAMINGGS evaluation.",

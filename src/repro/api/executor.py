@@ -282,6 +282,10 @@ class ExecutionReport:
     shm_segments: int = 0
     shm_bytes: int = 0
     pickled_bytes: int = 0
+    #: Small-array remainder bundled into one consolidated segment per
+    #: context package — bytes that used to inflate ``pickled_bytes``.
+    consolidated_arrays: int = 0
+    consolidated_bytes: int = 0
     context_rebuilds: int = 0
     warm_contexts: int = 0
     #: Degradation bookkeeping: the mode the run started in (empty when it
@@ -326,6 +330,8 @@ class ExecutionReport:
             "shm_segments": self.shm_segments,
             "shm_bytes": self.shm_bytes,
             "pickled_bytes": self.pickled_bytes,
+            "consolidated_arrays": self.consolidated_arrays,
+            "consolidated_bytes": self.consolidated_bytes,
             "context_rebuilds": self.context_rebuilds,
             "warm_contexts": self.warm_contexts,
             "degraded_from": self.degraded_from,
@@ -592,7 +598,15 @@ class SweepExecutor:
         self.report.shm_segments = sum(
             len(p.segments) for p in distinct.values()
         )
-        self.report.shm_bytes = sum(p.shared_bytes for p in distinct.values())
+        self.report.shm_bytes = sum(
+            p.shared_bytes + p.consolidated_bytes for p in distinct.values()
+        )
+        self.report.consolidated_arrays = sum(
+            p.consolidated_arrays for p in distinct.values()
+        )
+        self.report.consolidated_bytes = sum(
+            p.consolidated_bytes for p in distinct.values()
+        )
 
     def _run_pool(
         self,

@@ -609,6 +609,14 @@ def get_default_session() -> Session:
 
 
 def reset_default_session() -> None:
-    """Replace the process-wide session (used by tests)."""
+    """Replace the process-wide session (used by tests).
+
+    The outgoing session is closed, not orphaned: its worker pool and
+    any shared-memory segments its registry published are released now
+    rather than at interpreter exit (the shared engine service is left
+    untouched, as for any :meth:`Session.close`).
+    """
     global _DEFAULT_SESSION
-    _DEFAULT_SESSION = None
+    outgoing, _DEFAULT_SESSION = _DEFAULT_SESSION, None
+    if outgoing is not None:
+        outgoing.close()

@@ -75,6 +75,18 @@ SEGMENT_PREFIX = "rg"
 #: Tag marking a persistent-id entry of the shm pickler.
 _PICKLE_TAG = "repro.shm.array"
 
+#: Tag marking a small array bundled into the package's consolidated
+#: segment (the persistent id carries an index into the entry table).
+_PACKED_TAG = "repro.shm.packed"
+
+#: Small arrays at least this large join the consolidated segment; below
+#: it plain pickling is already as compact as the entry metadata.
+DEFAULT_CONSOLIDATE_MIN_BYTES = 64
+
+#: Offsets inside the consolidated segment are aligned to this, so every
+#: reconstructed view is itemsize-aligned for any standard dtype.
+_CONSOLIDATE_ALIGN = 16
+
 
 class SharedMemoryUnavailable(RuntimeError):
     """Shared-memory segments cannot be created on this host."""
@@ -457,21 +469,45 @@ def leaked_segments() -> List[str]:
 # Whole-object packaging.
 # ----------------------------------------------------------------------
 class _ShmPickler(pickle.Pickler):
-    """Pickler that swaps large ndarrays for shared-memory handles."""
+    """Pickler that swaps large ndarrays for shared-memory handles.
 
-    def __init__(self, file, registry: ShmRegistry, threshold: int) -> None:
+    Arrays at or above ``threshold`` get their own segment (zero-copy
+    attach on the receiving side).  Arrays between ``consolidate_min``
+    and the threshold — the long tail of camera poses, per-tile index
+    lists and small lookup tables that used to ride pickled in the
+    payload — are *consolidated*: their bytes are staged for one shared
+    segment per package and the payload keeps only an index.  The staging
+    table lives on the pickler; :meth:`ShmPackage.pack` publishes it
+    after the dump.
+    """
+
+    def __init__(
+        self,
+        file,
+        registry: ShmRegistry,
+        threshold: int,
+        consolidate_min: Optional[int] = DEFAULT_CONSOLIDATE_MIN_BYTES,
+    ) -> None:
         super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
         self._registry = registry
         self._threshold = threshold
+        #: ``None`` disables consolidation (no shm on this host).
+        self._consolidate_min = consolidate_min
         self.shared_arrays = 0
         self.shared_bytes = 0
+        #: Staged small arrays: contiguous copies + their (offset, shape,
+        #: dtype) entries; ``_packed_index`` dedupes repeated references
+        #: to one object (id-keyed; ``_packed`` also keeps them alive so
+        #: ids cannot be recycled mid-dump).
+        self._packed: List[np.ndarray] = []
+        self._packed_index: Dict[int, int] = {}
+        self.packed_entries: List[Tuple[int, Tuple[int, ...], str]] = []
+        self.packed_cursor = 0
 
-    def persistent_id(self, obj: Any) -> Optional[Tuple[str, SharedArrayHandle]]:
-        if (
-            isinstance(obj, np.ndarray)
-            and obj.nbytes >= self._threshold
-            and not obj.dtype.hasobject
-        ):
+    def persistent_id(self, obj: Any) -> Optional[Tuple[str, Any]]:
+        if not isinstance(obj, np.ndarray) or obj.dtype.hasobject:
+            return None
+        if obj.nbytes >= self._threshold:
             handle = self._registry.publish(obj)
             if handle.is_shared:
                 self.shared_arrays += 1
@@ -479,17 +515,81 @@ class _ShmPickler(pickle.Pickler):
                 return (_PICKLE_TAG, handle)
             # Inline fallback: let normal pickling carry the array so the
             # payload stays self-contained (counted by the registry).
+            return None
+        if (
+            self._consolidate_min is not None
+            and obj.nbytes >= self._consolidate_min
+        ):
+            index = self._packed_index.get(id(obj))
+            if index is None:
+                contiguous = np.ascontiguousarray(obj)
+                offset = self.packed_cursor
+                index = len(self.packed_entries)
+                self._packed_index[id(obj)] = index
+                self._packed.append(contiguous)
+                self.packed_entries.append(
+                    (offset, tuple(obj.shape), contiguous.dtype.str)
+                )
+                step = contiguous.nbytes + _CONSOLIDATE_ALIGN - 1
+                self.packed_cursor = offset + step - step % _CONSOLIDATE_ALIGN
+            return (_PACKED_TAG, index)
         return None
+
+    def consolidated_buffer(self) -> Optional[np.ndarray]:
+        """One flat uint8 buffer holding every staged small array."""
+        if not self._packed:
+            return None
+        buffer = np.zeros(self.packed_cursor, dtype=np.uint8)
+        for array, (offset, _, _) in zip(self._packed, self.packed_entries):
+            flat = array.reshape(-1).view(np.uint8)
+            buffer[offset : offset + array.nbytes] = flat
+        return buffer
 
 
 class _ShmUnpickler(pickle.Unpickler):
     """Unpickler resolving shm handles back to zero-copy array views."""
 
-    def persistent_load(self, pid: Tuple[str, SharedArrayHandle]) -> np.ndarray:
-        tag, handle = pid
-        if tag != _PICKLE_TAG:  # pragma: no cover - foreign stream
-            raise pickle.UnpicklingError(f"unknown persistent id tag {tag!r}")
-        return handle.array(writable=False)
+    def __init__(
+        self,
+        file,
+        consolidated: Optional[SharedArrayHandle] = None,
+        entries: Tuple[Tuple[int, Tuple[int, ...], str], ...] = (),
+    ) -> None:
+        super().__init__(file)
+        self._consolidated = consolidated
+        self._entries = entries
+        self._base: Optional[np.ndarray] = None
+        #: Views memoised per entry index: duplicate references to one
+        #: packed array resolve to one object, matching pickle's memo
+        #: semantics for normally-saved objects.
+        self._views: Dict[int, np.ndarray] = {}
+
+    def persistent_load(self, pid: Tuple[str, Any]) -> np.ndarray:
+        tag, ref = pid
+        if tag == _PICKLE_TAG:
+            return ref.array(writable=False)
+        if tag == _PACKED_TAG:
+            return self._packed_view(int(ref))
+        raise pickle.UnpicklingError(f"unknown persistent id tag {tag!r}")
+
+    def _packed_view(self, index: int) -> np.ndarray:
+        cached = self._views.get(index)
+        if cached is not None:
+            return cached
+        if self._consolidated is None or index >= len(self._entries):
+            raise pickle.UnpicklingError(
+                f"payload references consolidated array {index} but the "
+                "package carries no matching segment entry"
+            )
+        if self._base is None:
+            self._base = self._consolidated.array(writable=False).reshape(-1)
+        offset, shape, dtype_str = self._entries[index]
+        dtype = np.dtype(dtype_str)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        view = self._base[offset : offset + nbytes].view(dtype).reshape(shape)
+        view.flags.writeable = False
+        self._views[index] = view
+        return view
 
 
 @dataclass
@@ -501,12 +601,25 @@ class ShmPackage:
     names the segments the payload references, kept alive by the
     publishing registry.  The package itself pickles cheaply, so it can
     ride in any pool submit.
+
+    Large arrays (>= threshold) each get their own segment; the long tail
+    of *small* arrays is bundled into one ``consolidated`` segment whose
+    layout lives in ``consolidated_entries`` — a scene context's payload
+    used to carry ~0.5 MB of pickled small arrays, now replaced by
+    index-sized references.  On hosts without shared memory the
+    consolidated handle rides inline, so :meth:`unpack` never branches.
     """
 
     payload: bytes
     segments: Tuple[str, ...] = ()
     shared_arrays: int = 0
     shared_bytes: int = 0
+    #: The one segment bundling every sub-threshold array of the package.
+    consolidated: Optional[SharedArrayHandle] = None
+    #: Per-array (offset, shape, dtype) layout of the consolidated segment.
+    consolidated_entries: Tuple[Tuple[int, Tuple[int, ...], str], ...] = ()
+    consolidated_arrays: int = 0
+    consolidated_bytes: int = 0
 
     @property
     def pickled_bytes(self) -> int:
@@ -518,20 +631,49 @@ class ShmPackage:
         obj: Any,
         registry: ShmRegistry,
         threshold: int = DEFAULT_SHARE_THRESHOLD_BYTES,
+        consolidate_min: Optional[int] = DEFAULT_CONSOLIDATE_MIN_BYTES,
     ) -> "ShmPackage":
-        """Package ``obj``, publishing its large arrays into ``registry``."""
+        """Package ``obj``, publishing its large arrays into ``registry``.
+
+        ``consolidate_min`` sets the floor for the consolidated-segment
+        bundle (``None`` disables it — every sub-threshold array pickles
+        into the payload as before).
+        """
+        if not shm_available():
+            # Without segments the consolidated bundle would ride inline
+            # next to the payload — all copy, no savings; skip staging.
+            consolidate_min = None
         before = set(registry.active_segments())
         buffer = io.BytesIO()
-        pickler = _ShmPickler(buffer, registry, threshold)
+        pickler = _ShmPickler(buffer, registry, threshold, consolidate_min)
         pickler.dump(obj)
+        consolidated: Optional[SharedArrayHandle] = None
+        entries: Tuple[Tuple[int, Tuple[int, ...], str], ...] = ()
+        consolidated_bytes = 0
+        bundle = pickler.consolidated_buffer()
+        if bundle is not None:
+            consolidated = registry.publish(bundle)
+            entries = tuple(pickler.packed_entries)
+            consolidated_bytes = sum(
+                int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+                for _, shape, dtype in entries
+            )
         segments = tuple(sorted(set(registry.active_segments()) - before))
         return ShmPackage(
             payload=buffer.getvalue(),
             segments=segments,
             shared_arrays=pickler.shared_arrays,
             shared_bytes=pickler.shared_bytes,
+            consolidated=consolidated,
+            consolidated_entries=entries,
+            consolidated_arrays=len(entries),
+            consolidated_bytes=consolidated_bytes,
         )
 
     def unpack(self) -> Any:
         """Reconstruct the object; shared arrays come back as read-only views."""
-        return _ShmUnpickler(io.BytesIO(self.payload)).load()
+        return _ShmUnpickler(
+            io.BytesIO(self.payload),
+            consolidated=self.consolidated,
+            entries=self.consolidated_entries,
+        ).load()

@@ -16,6 +16,7 @@ freshly computed ones — the cache memoizes work, not accounting.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Hashable, Optional, Tuple
@@ -59,40 +60,60 @@ class FrameCache:
     _entries: "OrderedDict[Hashable, FramePreparation]" = field(
         default_factory=OrderedDict, repr=False
     )
+    # Renderers (and their frame caches) are shared across the service
+    # daemon's worker-actor threads; LRU reads mutate recency order, so
+    # even ``get`` needs the lock (move_to_end racing a concurrent evict
+    # raises KeyError on an unlocked OrderedDict).
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 0:
             raise ValueError("capacity must be non-negative")
+
+    # Renderers travel inside pickled scene contexts (worker broadcast);
+    # locks are not picklable, so rebuild one on the receiving side.
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: Hashable) -> Optional[FramePreparation]:
         """The cached preparation for ``key``, refreshing its LRU position."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, preparation: FramePreparation) -> None:
         """Insert ``preparation``, evicting the least recently used entry."""
         if self.capacity == 0:
             return
-        self._entries[key] = preparation
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = preparation
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns True when it was present."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every cached preparation (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:

@@ -14,6 +14,7 @@ within one run.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple, Union
@@ -91,6 +92,10 @@ class RenderService:
         self._renderers: "OrderedDict[Tuple[str, StreamingConfig], StreamingRenderer]" = (
             OrderedDict()
         )
+        # The service daemon shares one RenderService across worker-actor
+        # threads; the renderer-cache LRU bookkeeping (get + move_to_end +
+        # evict) must be atomic under that concurrency.
+        self._lock = threading.RLock()
         self.requests_served = 0
         self.renderer_hits = 0
         self.renderer_misses = 0
@@ -119,17 +124,23 @@ class RenderService:
         """
         config = config or StreamingConfig()
         key = (fingerprint if fingerprint is not None else model.content_fingerprint(), config)
-        renderer = self._renderers.get(key)
-        if renderer is not None:
-            self._renderers.move_to_end(key)
-            self.renderer_hits += 1
-            return renderer
-        self.renderer_misses += 1
+        with self._lock:
+            renderer = self._renderers.get(key)
+            if renderer is not None:
+                self._renderers.move_to_end(key)
+                self.renderer_hits += 1
+                return renderer
+            self.renderer_misses += 1
+        # Building a renderer is the expensive part (voxel grid, layout,
+        # optional VQ fit); do it unlocked so concurrent misses on other
+        # keys are not serialized.  A racing duplicate build of the same
+        # key is rare and harmless: last writer wins.
         renderer = StreamingRenderer(model, config)
-        self._renderers[key] = renderer
-        self.peak_renderers = max(self.peak_renderers, len(self._renderers))
-        while len(self._renderers) > self.max_renderers:
-            self._renderers.popitem(last=False)
+        with self._lock:
+            self._renderers[key] = renderer
+            self.peak_renderers = max(self.peak_renderers, len(self._renderers))
+            while len(self._renderers) > self.max_renderers:
+                self._renderers.popitem(last=False)
         return renderer
 
     @staticmethod
@@ -243,19 +254,21 @@ class RenderService:
 
     def stats(self) -> dict:
         """Counter snapshot (requests served, renderer cache behaviour)."""
-        return {
-            "requests_served": self.requests_served,
-            "renderer_hits": self.renderer_hits,
-            "renderer_misses": self.renderer_misses,
-            "renderers_alive": len(self._renderers),
-            "peak_renderers": self.peak_renderers,
-            "parallel_tile_frames": self.parallel_tile_frames,
-            "last_frame": dict(self.last_frame) if self.last_frame else None,
-        }
+        with self._lock:
+            return {
+                "requests_served": self.requests_served,
+                "renderer_hits": self.renderer_hits,
+                "renderer_misses": self.renderer_misses,
+                "renderers_alive": len(self._renderers),
+                "peak_renderers": self.peak_renderers,
+                "parallel_tile_frames": self.parallel_tile_frames,
+                "last_frame": dict(self.last_frame) if self.last_frame else None,
+            }
 
     def clear(self) -> None:
         """Drop every cached renderer (counters are kept)."""
-        self._renderers.clear()
+        with self._lock:
+            self._renderers.clear()
 
     def close(self) -> None:
         """Release held state; alias of :meth:`clear` for lifecycle symmetry.

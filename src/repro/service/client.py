@@ -1,0 +1,233 @@
+"""Blocking client of the render service daemon.
+
+:class:`ServiceClient` speaks the NDJSON protocol over one socket
+connection (TCP or unix) and exposes convenience wrappers per request
+kind.  It is deliberately synchronous — examples, benchmarks and CI
+smoke drive the daemon from plain scripts and threads; concurrency comes
+from multiple clients, matching how the daemon schedules fairness.
+
+``submit`` optionally retries admission rejects: a ``queue_full`` /
+``draining`` response carries ``retry_after_s``, and with
+``retries > 0`` the client sleeps that hint (bounded) and resubmits.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.request
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    ServiceRequest,
+    ServiceResponse,
+    decode_message,
+    encode_message,
+)
+
+Address = Union[Tuple[str, ...], Sequence[str]]
+
+
+class ServiceError(RuntimeError):
+    """A request failed and ``raise_on_error`` was set."""
+
+    def __init__(self, response: ServiceResponse) -> None:
+        self.response = response
+        super().__init__(f"[{response.code or 'error'}] {response.error}")
+
+
+class ServiceClient:
+    """One connection to a running :class:`~repro.service.daemon.ServiceDaemon`.
+
+    Usable as a context manager::
+
+        with ServiceClient.connect(("tcp", "127.0.0.1", 7340)) as client:
+            result = client.render("lego", resolution_scale=0.25)
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        client: str = "anon",
+        timeout: float = 60.0,
+    ) -> None:
+        self._sock = sock
+        self._sock.settimeout(timeout)
+        self._file = sock.makefile("rb")
+        self.client = client
+        self.timeout = timeout
+        self.requests_sent = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(
+        cls,
+        address: Address,
+        client: str = "anon",
+        timeout: float = 60.0,
+        connect_timeout: float = 5.0,
+    ) -> "ServiceClient":
+        """Open a connection to ``("tcp", host, port)`` or ``("unix", path)``."""
+        address = tuple(address)
+        if address[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(connect_timeout)
+            sock.connect(address[1])
+        elif address[0] == "tcp":
+            sock = socket.create_connection(
+                (address[1], int(address[2])), timeout=connect_timeout
+            )
+        else:
+            raise ValueError(f"unknown address scheme {address[0]!r}")
+        return cls(sock, client=client, timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        retries: int = 0,
+        max_backoff_s: float = 5.0,
+        raise_on_error: bool = False,
+    ) -> ServiceResponse:
+        """Send one request and block for its response.
+
+        With ``retries > 0``, admission rejects (``queue_full`` /
+        ``draining``) are retried after the daemon's ``retry_after_s``
+        hint (capped at ``max_backoff_s``).  Other failures are returned
+        (or raised) as-is.
+        """
+        attempts_left = max(0, int(retries))
+        while True:
+            response = self._roundtrip(kind, payload or {})
+            if response.ok or response.code not in ("queue_full", "draining"):
+                if not response.ok and raise_on_error:
+                    raise ServiceError(response)
+                return response
+            if attempts_left <= 0:
+                if raise_on_error:
+                    raise ServiceError(response)
+                return response
+            attempts_left -= 1
+            hint = response.retry_after_s if response.retry_after_s else 0.1
+            time.sleep(min(max_backoff_s, max(0.01, float(hint))))
+
+    def _roundtrip(self, kind: str, payload: Dict[str, Any]) -> ServiceResponse:
+        request = ServiceRequest(kind=kind, payload=payload, client=self.client)
+        self._sock.sendall(encode_message(request.to_wire()))
+        self.requests_sent += 1
+        line = self._file.readline(MAX_MESSAGE_BYTES + 2)
+        if not line:
+            raise ConnectionError("service connection closed mid-request")
+        message = decode_message(line)
+        response = ServiceResponse.from_wire(message)
+        return response
+
+    # ------------------------------------------------------------------
+    # convenience wrappers
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.submit("ping", raise_on_error=True).result
+
+    def health(self) -> Dict[str, Any]:
+        return self.submit("health", raise_on_error=True).result
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.submit("metrics", raise_on_error=True).result
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.submit(
+            "shutdown", {"drain": drain}, raise_on_error=True
+        ).result
+
+    def render(
+        self,
+        scene: str,
+        algorithm: str = "3dgs",
+        voxel_size: Optional[float] = None,
+        resolution_scale: float = 1.0,
+        retries: int = 0,
+        **extra: Any,
+    ) -> ServiceResponse:
+        payload: Dict[str, Any] = {
+            "scene": scene,
+            "algorithm": algorithm,
+            "resolution_scale": resolution_scale,
+        }
+        if voxel_size is not None:
+            payload["voxel_size"] = voxel_size
+        payload.update(extra)
+        return self.submit("render", payload, retries=retries)
+
+    def sweep(
+        self,
+        base: Optional[Dict[str, Any]] = None,
+        grid: Optional[Dict[str, Any]] = None,
+        retries: int = 0,
+        **grid_kwargs: Any,
+    ) -> ServiceResponse:
+        merged = dict(grid or {})
+        merged.update(grid_kwargs)
+        payload: Dict[str, Any] = {"grid": merged}
+        if base:
+            payload["base"] = base
+        return self.submit("sweep", payload, retries=retries)
+
+    def experiment(
+        self, name: str, retries: int = 0, **options: Any
+    ) -> ServiceResponse:
+        return self.submit(
+            "experiment", {"name": name, "options": options}, retries=retries
+        )
+
+
+def scrape_http(address: Address, path: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """Fetch ``/healthz`` or ``/metrics`` over the daemon's HTTP shim.
+
+    Works against TCP addresses via :mod:`urllib`; unix-socket daemons
+    are scraped with a raw socket (urllib has no unix transport).
+    """
+    address = tuple(address)
+    if address[0] == "tcp":
+        url = f"http://{address[1]}:{int(address[2])}{path}"
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    if address[0] == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(address[1])
+            sock.sendall(
+                f"GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n".encode("latin-1")
+            )
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        finally:
+            sock.close()
+        raw = b"".join(chunks)
+        header, _, body = raw.partition(b"\r\n\r\n")
+        status_line = header.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = status_line.split()
+        if len(parts) < 2 or parts[1] != "200":
+            raise ProtocolError(f"HTTP scrape failed: {status_line}")
+        return json.loads(body.decode("utf-8"))
+    raise ValueError(f"unknown address scheme {address[0]!r}")

@@ -1,0 +1,779 @@
+"""The render service daemon: asyncio server + dispatcher + telemetry.
+
+:class:`ServiceDaemon` is the long-lived process around the library:
+
+* it owns **one** :class:`~repro.engine.service.RenderService` and (when
+  configured) **one** :class:`~repro.api.store.ResultStore`, shared by
+  every worker actor's session — frame caches and cached results are
+  process-wide, exactly as in a single embedded session;
+* an asyncio server speaks the NDJSON protocol on TCP or a unix socket
+  and answers plain ``GET /healthz`` / ``GET /metrics`` HTTP requests on
+  the same port (first-line sniffing);
+* admitted work flows through the bounded :class:`FairQueue`; a
+  dispatcher coroutine pairs fair-order records with idle actors;
+  completions are trampolined back into the loop thread-safely;
+* under queue pressure the dispatcher **degrades** render/sweep work
+  (halving ``resolution_scale`` down to a floor) and surfaces the
+  downshift in the response ``meta``, trading fidelity for latency
+  instead of timing out;
+* the :class:`~repro.service.supervisor.Supervisor` task restarts crashed
+  actors and re-enqueues their requests; the
+  :class:`~repro.service.supervisor.Journal` resumes in-flight work after
+  a daemon restart.
+
+:meth:`ServiceDaemon.serve` blocks (the CLI path);
+:meth:`ServiceDaemon.start_in_thread` returns a :class:`DaemonHandle`
+(tests, benchmarks, and the examples embed the daemon this way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.result import jsonify
+from repro.api.session import Session
+from repro.api.store import ResultStore
+from repro.engine.service import RenderService
+from repro.service.actors import MIN_RESOLUTION_SCALE, RequestRecord, WorkerActor
+from repro.service.protocol import (
+    CONTROL_KINDS,
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    ServiceRequest,
+    ServiceResponse,
+    WORK_KINDS,
+    decode_message,
+    encode_message,
+    error_response,
+)
+from repro.service.queueing import FairQueue, QueueFull
+from repro.service.supervisor import Journal, Supervisor, now
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one daemon instance.
+
+    Attributes
+    ----------
+    host / port:
+        TCP listen address; ``port=0`` picks a free port (tests).
+    unix_path:
+        When set, listen on a unix socket instead of TCP.
+    workers:
+        Worker-actor fleet size (concurrent requests in execution).
+    queue_limit:
+        Bound on admitted-but-undispatched requests; beyond it the daemon
+        rejects with ``queue_full`` + ``retry_after_s``.
+    request_timeout_s:
+        Per-request deadline from admission to response.
+    degrade_depth:
+        Queue depth at (or above) which dispatched render/sweep work is
+        degraded; ``None`` defaults to half the queue limit, ``0`` makes
+        degradation unconditional.
+    degrade_factor:
+        Multiplier applied to ``resolution_scale`` per degradation step.
+    max_retries:
+        Crash-retry budget per request (1 = retried exactly once).
+    heartbeat_timeout_s:
+        Busy actor silent beyond this is reported as stalled.
+    supervisor_interval_s:
+        Supervision sweep period (crash-detection latency).
+    journal_dir:
+        Directory persisting in-flight requests across daemon restarts;
+        ``None`` disables journaling.
+    cache_dir:
+        :class:`ResultStore` root shared by all actors; ``None`` disables.
+    seed / sweep_jobs:
+        Forwarded to every actor's :class:`Session`.
+    client_weights:
+        Fair-queue weight overrides per client name.
+    drain_timeout_s:
+        Upper bound on waiting for in-flight work at graceful shutdown.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: Optional[str] = None
+    workers: int = 2
+    queue_limit: int = 64
+    request_timeout_s: float = 300.0
+    degrade_depth: Optional[int] = None
+    degrade_factor: float = 0.5
+    max_retries: int = 1
+    heartbeat_timeout_s: float = 5.0
+    supervisor_interval_s: float = 0.05
+    journal_dir: Optional[str] = None
+    cache_dir: Optional[str] = None
+    seed: int = 0
+    sweep_jobs: int = 1
+    client_weights: Dict[str, float] = field(default_factory=dict)
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")
+        if not 0.0 < self.degrade_factor < 1.0:
+            raise ValueError(
+                f"degrade_factor must be in (0, 1), got {self.degrade_factor}"
+            )
+        if self.degrade_depth is None:
+            self.degrade_depth = max(1, self.queue_limit // 2)
+        if self.degrade_depth < 0:
+            raise ValueError(f"degrade_depth must be >= 0, got {self.degrade_depth}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+class DaemonHandle:
+    """A daemon running on a background thread (embedded mode)."""
+
+    def __init__(self, daemon: "ServiceDaemon", thread: threading.Thread) -> None:
+        self.daemon = daemon
+        self.thread = thread
+
+    @property
+    def address(self) -> Tuple[str, ...]:
+        """``("tcp", host, port)`` or ``("unix", path)`` once listening."""
+        assert self.daemon.address is not None, "daemon is not listening yet"
+        return self.daemon.address
+
+    def client(self, client: str = "anon", timeout: float = 60.0):
+        """A connected :class:`~repro.service.client.ServiceClient`."""
+        from repro.service.client import ServiceClient
+
+        return ServiceClient.connect(self.address, client=client, timeout=timeout)
+
+    def stop(self, drain: bool = True) -> None:
+        """Ask the daemon to shut down (optionally draining the queue)."""
+        self.daemon.request_stop(drain=drain)
+
+    def join(self, timeout: Optional[float] = 30.0) -> None:
+        self.thread.join(timeout=timeout)
+        if self.thread.is_alive():  # pragma: no cover - deadlock guard
+            raise RuntimeError("service daemon thread did not exit")
+
+
+class ServiceDaemon:
+    """The long-lived render service around :mod:`repro.api`."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        #: Shared frame-preparation/renderer caches across all actors.
+        self.service = RenderService()
+        self.store: Optional[ResultStore] = (
+            ResultStore(self.config.cache_dir) if self.config.cache_dir else None
+        )
+        self.queue = FairQueue(
+            max_depth=self.config.queue_limit,
+            weights=dict(self.config.client_weights),
+        )
+        self.journal = Journal(
+            Path(self.config.journal_dir) if self.config.journal_dir else None
+        )
+        self.supervisor = Supervisor(
+            self,
+            interval=self.config.supervisor_interval_s,
+            max_retries=self.config.max_retries,
+            heartbeat_timeout=self.config.heartbeat_timeout_s,
+        )
+        self.actors: List[WorkerActor] = []
+        self.events: List[Dict[str, Any]] = []
+        self.last_execution: Optional[Dict[str, Any]] = None
+        self.address: Optional[Tuple[str, ...]] = None
+        self.started_at: Optional[float] = None
+        self.draining = False
+        self.metrics = {
+            "accepted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "timeouts": 0,
+            "degraded": 0,
+            "resumed": 0,
+            "abandoned": 0,
+        }
+        self.per_client: Dict[str, Dict[str, int]] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._queue_event: Optional[asyncio.Event] = None
+        self._idle: Optional["asyncio.Queue[WorkerActor]"] = None
+        self._drain_on_stop = True
+        self._in_flight = 0
+        self._dispatch_count = 0
+        self._actor_serial = 0
+        self._request_serial = 0
+        #: EMA of per-request service seconds, feeding retry-after hints.
+        self._service_ema: Optional[float] = None
+        self._ready = threading.Event()
+
+    # ------------------------------------------------------------------
+    # actor fleet
+    # ------------------------------------------------------------------
+    def session_factory(self) -> Session:
+        """A per-actor session sharing the daemon's service and store."""
+        return Session(
+            service=self.service,
+            store=self.store,
+            seed=self.config.seed,
+            jobs=self.config.sweep_jobs,
+        )
+
+    def spawn_actor(self, position: Optional[int] = None) -> WorkerActor:
+        """Start one actor and register it as idle.
+
+        ``position`` replaces a dead actor in place (supervisor path);
+        ``None`` appends (startup path).
+        """
+        self._actor_serial += 1
+        actor = WorkerActor(
+            name=f"worker-{self._actor_serial}",
+            session_factory=self.session_factory,
+            on_complete=self._on_complete_threadsafe,
+            on_execution=self._on_execution_threadsafe,
+            heartbeat_interval=min(0.05, self.config.heartbeat_timeout_s / 4),
+        )
+        actor.start()
+        if position is None:
+            self.actors.append(actor)
+        else:
+            self.actors[position] = actor
+        assert self._idle is not None
+        self._idle.put_nowait(actor)
+        return actor
+
+    def _on_execution_threadsafe(self, report: Dict[str, Any]) -> None:
+        # Plain attribute write; last-writer-wins is the wanted semantic.
+        self.last_execution = report
+
+    def _on_complete_threadsafe(
+        self, actor: WorkerActor, record: RequestRecord, response: ServiceResponse
+    ) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():  # pragma: no cover - late completion
+            return
+        loop.call_soon_threadsafe(self._finish, actor, record, response)
+
+    # ------------------------------------------------------------------
+    # dispatch / completion (event-loop context)
+    # ------------------------------------------------------------------
+    def _finish(
+        self, actor: WorkerActor, record: RequestRecord, response: ServiceResponse
+    ) -> None:
+        self._in_flight -= 1
+        self.journal.discard(record.request.id)
+        if record.dispatched_at:
+            self._note_service_time(time.monotonic() - record.dispatched_at)
+        if record.done:
+            # The response side already moved on (timeout); the work is
+            # finished and cached where possible, the client reply is not.
+            self.metrics["abandoned"] += 1
+        else:
+            record.done = True
+            self.metrics["completed" if response.ok else "failed"] += 1
+            self._client_counter(record.request.client, "completed" if response.ok else "failed")
+            if not record.future.done():
+                record.future.set_result(response)
+        if actor.is_alive() and not actor.crashed and not actor.stopped:
+            assert self._idle is not None
+            self._idle.put_nowait(actor)
+
+    def settle_crashed(self, record: RequestRecord) -> None:
+        """Close dispatch accounting of a record whose actor died."""
+        self._in_flight -= 1
+
+    def requeue(self, record: RequestRecord) -> None:
+        """Re-admit a crash-interrupted record ahead of the backlog."""
+        self.queue.push(record.request.client, record, front=True)
+        self._wake_dispatcher()
+
+    def fail_record(self, record: RequestRecord, response: ServiceResponse) -> None:
+        """Resolve a record with a terminal failure (supervisor path)."""
+        self.journal.discard(record.request.id)
+        if record.done:
+            return
+        record.done = True
+        self.metrics["failed"] += 1
+        self._client_counter(record.request.client, "failed")
+        if not record.future.done():
+            record.future.set_result(response)
+
+    def log_event(self, event: str, **fields: Any) -> None:
+        """Append one supervision/lifecycle event (kept bounded)."""
+        entry = {"event": event, "at": round(now(), 3)}
+        entry.update(fields)
+        self.events.append(entry)
+        del self.events[:-256]
+
+    def _wake_dispatcher(self) -> None:
+        if self._queue_event is not None:
+            self._queue_event.set()
+
+    def _client_counter(self, client: str, key: str) -> None:
+        counters = self.per_client.setdefault(
+            client,
+            {"accepted": 0, "completed": 0, "failed": 0, "rejected": 0},
+        )
+        counters[key] = counters.get(key, 0) + 1
+
+    def _note_service_time(self, seconds: float) -> None:
+        if seconds < 0:
+            return
+        if self._service_ema is None:
+            self._service_ema = seconds
+        else:
+            self._service_ema = 0.7 * self._service_ema + 0.3 * seconds
+
+    def retry_after_estimate(self) -> float:
+        """Backoff hint: expected time until a queue slot frees up."""
+        ema = self._service_ema if self._service_ema is not None else 0.1
+        backlog = len(self.queue) + self._in_flight
+        estimate = ema * max(1, backlog) / max(1, self.config.workers)
+        return max(0.05, min(60.0, estimate))
+
+    async def _dispatcher(self) -> None:
+        """Pair idle actors with fair-order records, forever."""
+        assert self._idle is not None and self._queue_event is not None
+        while True:
+            actor = await self._idle.get()
+            if not actor.is_alive() or actor.crashed or actor.stopped:
+                # A crashed actor's idle token; the supervisor already
+                # enqueued its replacement.
+                continue
+            record = await self._next_record()
+            record.attempts += 1
+            record.dispatch_index = self._dispatch_count
+            self._dispatch_count += 1
+            record.dispatched_at = time.monotonic()
+            self._apply_degradation(record)
+            self._in_flight += 1
+            actor.submit(record)
+
+    async def _next_record(self) -> RequestRecord:
+        assert self._queue_event is not None
+        while True:
+            record = self.queue.pop()
+            if record is not None:
+                if record.done:
+                    # Timed out while queued; nothing left to run.
+                    self.journal.discard(record.request.id)
+                    continue
+                return record
+            self._queue_event.clear()
+            await self._queue_event.wait()
+
+    def _apply_degradation(self, record: RequestRecord) -> None:
+        """Downshift render fidelity when the backlog is deep."""
+        if len(self.queue) < int(self.config.degrade_depth or 0):
+            return
+        payload = record.request.payload
+        factor = self.config.degrade_factor
+        if record.request.kind == "render":
+            scale = float(payload.get("resolution_scale", 1.0))
+            target = max(MIN_RESOLUTION_SCALE, scale * factor)
+            if target < scale:
+                payload["resolution_scale"] = target
+                record.degraded = {
+                    "resolution_scale": target,
+                    "requested_resolution_scale": scale,
+                    "queue_depth": len(self.queue),
+                }
+                self.metrics["degraded"] += 1
+        elif record.request.kind == "sweep":
+            base = dict(payload.get("base") or {})
+            scale = float(base.get("resolution_scale", 1.0))
+            target = max(MIN_RESOLUTION_SCALE, scale * factor)
+            if target < scale:
+                base["resolution_scale"] = target
+                payload["base"] = base
+                record.degraded = {
+                    "resolution_scale": target,
+                    "requested_resolution_scale": scale,
+                    "queue_depth": len(self.queue),
+                }
+                self.metrics["degraded"] += 1
+
+    # ------------------------------------------------------------------
+    # admission (event-loop context)
+    # ------------------------------------------------------------------
+    def admit(self, request: ServiceRequest) -> RequestRecord:
+        """Admit one work request into the fair queue.
+
+        Raises :class:`QueueFull` at capacity and :class:`RuntimeError`
+        while draining; the connection handler converts both into reject
+        responses.
+        """
+        assert self._loop is not None
+        if self.draining:
+            raise RuntimeError("draining")
+        if not request.id:
+            self._request_serial += 1
+            request.id = f"{os.getpid():x}-{self._request_serial:x}"
+        record = RequestRecord(
+            request=request,
+            future=self._loop.create_future(),
+            accepted_at=now(),
+        )
+        self.queue.push(request.client, record, cost=self._cost_of(request))
+        self.journal.record(request, accepted_at=record.accepted_at)
+        self.metrics["accepted"] += 1
+        self._client_counter(request.client, "accepted")
+        self._wake_dispatcher()
+        return record
+
+    @staticmethod
+    def _cost_of(request: ServiceRequest) -> float:
+        """Fair-share cost: sweeps charge one unit per grid point."""
+        if request.kind == "sweep":
+            cost = 1.0
+            for values in (request.payload.get("grid") or {}).values():
+                try:
+                    cost *= max(1, len(values))
+                except TypeError:
+                    pass
+            return cost
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            if line.startswith((b"GET ", b"HEAD ", b"POST ")):
+                await self._serve_http(line, reader, writer)
+                return
+            while line:
+                stop_after = await self._serve_line(line, writer)
+                if stop_after:
+                    break
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter) -> bool:
+        """Answer one NDJSON request line; returns True to close the stream."""
+        try:
+            request = ServiceRequest.from_wire(decode_message(line))
+        except ProtocolError as error:
+            await self._write_response(writer, error_response("bad_request", str(error)))
+            return False
+        response = await self.handle_request(request)
+        await self._write_response(writer, response)
+        return request.kind == "shutdown"
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: ServiceResponse
+    ) -> None:
+        writer.write(encode_message(jsonify(response.to_wire())))
+        await writer.drain()
+
+    async def handle_request(self, request: ServiceRequest) -> ServiceResponse:
+        """Route one request: control inline, work through the queue."""
+        if request.kind in CONTROL_KINDS:
+            return self._handle_control(request)
+        assert request.kind in WORK_KINDS
+        try:
+            record = self.admit(request)
+        except QueueFull as full:
+            retry_after = self.retry_after_estimate()
+            self.metrics["rejected"] += 1
+            self._client_counter(request.client, "rejected")
+            return error_response(
+                "queue_full",
+                f"{full}; retry after {retry_after:.2f}s",
+                request_id=request.id,
+                retry_after_s=retry_after,
+            )
+        except RuntimeError:
+            return error_response(
+                "draining",
+                "daemon is draining and not accepting new work",
+                request_id=request.id,
+                retry_after_s=1.0,
+            )
+        try:
+            response = await asyncio.wait_for(
+                asyncio.shield(record.future), timeout=self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            record.done = True
+            self.metrics["timeouts"] += 1
+            self.journal.discard(record.request.id)
+            return error_response(
+                "timeout",
+                f"request {record.request.id} exceeded "
+                f"{self.config.request_timeout_s}s",
+                request_id=record.request.id,
+            )
+        return response
+
+    def _handle_control(self, request: ServiceRequest) -> ServiceResponse:
+        if request.kind == "ping":
+            return ServiceResponse(
+                ok=True, result={"pong": True, "uptime_s": self.uptime()}, id=request.id
+            )
+        if request.kind == "health":
+            return ServiceResponse(ok=True, result=self.healthz(), id=request.id)
+        if request.kind == "metrics":
+            return ServiceResponse(
+                ok=True, result=self.metrics_snapshot(), id=request.id
+            )
+        if request.kind == "shutdown":
+            drain = bool(request.payload.get("drain", True))
+            self.request_stop(drain=drain)
+            return ServiceResponse(
+                ok=True, result={"stopping": True, "drain": drain}, id=request.id
+            )
+        raise AssertionError(f"unhandled control kind {request.kind!r}")
+
+    # ------------------------------------------------------------------
+    # HTTP shim
+    # ------------------------------------------------------------------
+    async def _serve_http(
+        self,
+        first_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Minimal HTTP/1.0 answers for ``/healthz`` and ``/metrics``."""
+        import json as _json
+
+        try:
+            while True:  # drain request headers
+                header = await asyncio.wait_for(reader.readline(), timeout=2.0)
+                if header in (b"", b"\r\n", b"\n"):
+                    break
+        except asyncio.TimeoutError:  # pragma: no cover - slowloris guard
+            pass
+        parts = first_line.decode("latin-1", "replace").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            status, body = 200, self.healthz()
+            if body["status"] == "down":
+                status = 503
+        elif path == "/metrics":
+            status, body = 200, self.metrics_snapshot()
+        else:
+            status, body = 404, {"error": f"unknown path {path!r}"}
+        payload = _json.dumps(jsonify(body), indent=2).encode("utf-8")
+        reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}[status]
+        writer.write(
+            f"HTTP/1.0 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n".encode("latin-1")
+        )
+        writer.write(payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def uptime(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return round(time.monotonic() - self.started_at, 3)
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness summary: ok / draining / down."""
+        alive = sum(1 for actor in self.actors if actor.is_alive())
+        if alive == 0 and self.actors:
+            status = "down"
+        elif self.draining:
+            status = "draining"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "uptime_s": self.uptime(),
+            "queue_depth": len(self.queue),
+            "in_flight": self._in_flight,
+            "actors_alive": alive,
+            "actors_total": len(self.actors),
+            "restarts": self.supervisor.restarts,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The full live-telemetry document behind ``/metrics``."""
+        from repro.api.shm import leaked_segments
+
+        return {
+            "uptime_s": self.uptime(),
+            "address": list(self.address) if self.address else None,
+            "draining": self.draining,
+            "requests": dict(self.metrics),
+            "in_flight": self._in_flight,
+            "queue": self.queue.stats(),
+            "clients": {name: dict(c) for name, c in self.per_client.items()},
+            "actors": [actor.snapshot() for actor in self.actors],
+            "supervision": self.supervisor.stats(),
+            "events": list(self.events[-20:]),
+            "execution": self.last_execution,
+            "engine": self.service.stats(),
+            "store": self.store.stats() if self.store is not None else None,
+            "journal_pending": len(self.journal),
+            "shm": {"leaked_segments": leaked_segments()},
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def request_stop(self, drain: bool = True) -> None:
+        """Thread-safe shutdown request (drain first unless told not to)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+
+        def _stop() -> None:
+            self._drain_on_stop = drain and self._drain_on_stop
+            self.draining = True
+            assert self._stop_event is not None
+            self._stop_event.set()
+
+        loop.call_soon_threadsafe(_stop)
+
+    def _resume_journal(self) -> int:
+        """Re-admit journaled requests from a previous run."""
+        assert self._loop is not None
+        resumed = 0
+        for entry in self.journal.pending():
+            try:
+                request = ServiceRequest.from_wire(entry)
+            except ProtocolError:  # pragma: no cover - pending() pre-checks
+                continue
+            record = RequestRecord(
+                request=request,
+                future=self._loop.create_future(),
+                accepted_at=float(entry.get("accepted_at") or now()),
+                resumed=True,
+            )
+            # No client is waiting; swallow the eventual response so the
+            # future never warns about an unretrieved result.
+            record.future.add_done_callback(lambda future: future.exception())
+            try:
+                self.queue.push(request.client, record, cost=self._cost_of(request))
+            except QueueFull:  # pragma: no cover - journal larger than queue
+                self.journal.discard(request.id)
+                continue
+            resumed += 1
+        if resumed:
+            self.metrics["resumed"] += resumed
+            self.log_event("journal_resumed", requests=resumed)
+            self._wake_dispatcher()
+        return resumed
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._queue_event = asyncio.Event()
+        self._idle = asyncio.Queue()
+        self.started_at = time.monotonic()
+        for _ in range(self.config.workers):
+            self.spawn_actor()
+        self._resume_journal()
+        if self.config.unix_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self.config.unix_path,
+                limit=MAX_MESSAGE_BYTES + 1024,
+            )
+            self.address = ("unix", self.config.unix_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=MAX_MESSAGE_BYTES + 1024,
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.address = ("tcp", sockname[0], int(sockname[1]))
+        dispatcher = asyncio.ensure_future(self._dispatcher())
+        supervision = asyncio.ensure_future(self.supervisor.run())
+        self.log_event("daemon_started", address=list(self.address))
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+            self.draining = True
+            if self._drain_on_stop:
+                await self._drain(deadline=time.monotonic() + self.config.drain_timeout_s)
+        finally:
+            self.supervisor.stop()
+            for task in (dispatcher, supervision):
+                task.cancel()
+            await asyncio.gather(dispatcher, supervision, return_exceptions=True)
+            self._shutdown_actors()
+            self._reject_leftovers()
+            self._server.close()
+            await self._server.wait_closed()
+            if self.config.unix_path:
+                try:
+                    os.unlink(self.config.unix_path)
+                except OSError:
+                    pass
+            self.log_event("daemon_stopped", drained=self._drain_on_stop)
+
+    async def _drain(self, deadline: float) -> None:
+        """Wait for queued + in-flight work to finish (bounded)."""
+        while (len(self.queue) or self._in_flight) and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+
+    def _shutdown_actors(self) -> None:
+        for actor in self.actors:
+            if actor.is_alive():
+                actor.stop()
+        for actor in self.actors:
+            actor.join(timeout=2.0)
+
+    def _reject_leftovers(self) -> None:
+        """Fail still-queued records at hard stop (journal entries stay:
+        an undrained record is exactly what the journal resumes)."""
+        for record in self.queue.drain():
+            if record is None or record.done:
+                continue
+            record.done = True
+            if not record.future.done():
+                record.future.set_result(
+                    error_response(
+                        "draining",
+                        "daemon stopped before this request was dispatched",
+                        request_id=record.request.id,
+                        retry_after_s=1.0,
+                    )
+                )
+
+    def serve(self) -> None:
+        """Run the daemon on the calling thread until stopped (CLI path)."""
+        asyncio.run(self._main())
+
+    def start_in_thread(self, ready_timeout: float = 30.0) -> DaemonHandle:
+        """Run the daemon on a background thread; returns once listening."""
+        thread = threading.Thread(
+            target=self.serve, name="repro-service-daemon", daemon=True
+        )
+        thread.start()
+        if not self._ready.wait(timeout=ready_timeout):
+            raise RuntimeError("service daemon did not start listening in time")
+        return DaemonHandle(self, thread)

@@ -1,0 +1,224 @@
+"""Supervision: heartbeat watchdog, actor restart, in-flight journaling.
+
+The supervisor is the daemon's fault boundary.  It runs as an asyncio
+task, periodically sweeping the actor fleet:
+
+* a **dead actor** (thread exited without clean shutdown — real fault or
+  injected crash) is replaced by a fresh actor, and its in-flight
+  :class:`~repro.service.actors.RequestRecord` is re-admitted at the
+  front of the fair queue with bounded retries
+  (``attempts <= max_retries + 1``); a record past its retry budget gets
+  a ``worker_crashed`` failure response instead of vanishing;
+* a **wedged actor** (alive but heartbeat-stale beyond the watchdog
+  timeout) is surfaced in metrics/health — Python threads cannot be
+  killed, so the per-request timeout owns the client-facing outcome while
+  the watchdog owns visibility.
+
+:class:`Journal` persists admitted-but-unfinished work to disk (one JSON
+file per request, atomic writes): a daemon that dies mid-flight resumes
+its journaled requests on the next start instead of losing them.  Results
+land in the shared :class:`~repro.api.store.ResultStore` where configured,
+so resumed evaluation work is not wasted even though the original client
+connection is gone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.api.store import atomic_write_json
+from repro.service.protocol import ServiceRequest, error_response
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.daemon import ServiceDaemon
+
+
+class Journal:
+    """Disk persistence of admitted, unfinished requests.
+
+    ``root=None`` disables journaling (every method is a no-op), so the
+    daemon code never branches.  Entries are one JSON file per request id;
+    writes are atomic (temp + rename), corrupt entries are moved aside to
+    ``<name>.corrupt`` and skipped — a damaged journal degrades to losing
+    that one request, never to failing startup.
+    """
+
+    def __init__(self, root: Optional[Path]) -> None:
+        self.root = Path(root) if root else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def _path(self, request_id: str) -> Path:
+        assert self.root is not None
+        return self.root / f"req-{request_id}.json"
+
+    def record(self, request: ServiceRequest, accepted_at: float) -> None:
+        """Persist one admitted request (idempotent per id)."""
+        if self.root is None:
+            return
+        atomic_write_json(
+            self._path(request.id),
+            {
+                "id": request.id,
+                "kind": request.kind,
+                "client": request.client,
+                "payload": request.payload,
+                "accepted_at": accepted_at,
+            },
+        )
+
+    def discard(self, request_id: str) -> None:
+        """Forget one finished request."""
+        if self.root is None or not request_id:
+            return
+        try:
+            self._path(request_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def pending(self) -> List[Dict[str, Any]]:
+        """Journaled requests of a previous run, oldest first."""
+        if self.root is None:
+            return []
+        entries: List[Dict[str, Any]] = []
+        for path in sorted(self.root.glob("req-*.json")):
+            try:
+                entry = json.loads(path.read_text())
+                ServiceRequest.from_wire(entry)  # shape check
+                entries.append(entry)
+            except (json.JSONDecodeError, OSError, ValueError):
+                try:
+                    path.replace(path.with_name(path.name + ".corrupt"))
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+        entries.sort(key=lambda entry: entry.get("accepted_at", 0.0))
+        return entries
+
+    def __len__(self) -> int:
+        if self.root is None:
+            return 0
+        return sum(1 for _ in self.root.glob("req-*.json"))
+
+
+class Supervisor:
+    """Watchdog task restarting crashed actors and retrying their work.
+
+    Parameters
+    ----------
+    daemon:
+        The owning :class:`~repro.service.daemon.ServiceDaemon`.
+    interval:
+        Sweep period in seconds (crash-detection latency).
+    max_retries:
+        How many times one request may be re-dispatched after a crash;
+        the default of 1 means "retried exactly once, then failed".
+    heartbeat_timeout:
+        An alive-but-silent actor is reported as stalled beyond this.
+    """
+
+    def __init__(
+        self,
+        daemon: "ServiceDaemon",
+        interval: float = 0.05,
+        max_retries: int = 1,
+        heartbeat_timeout: float = 5.0,
+    ) -> None:
+        self.daemon = daemon
+        self.interval = interval
+        self.max_retries = max_retries
+        self.heartbeat_timeout = heartbeat_timeout
+        self.restarts = 0
+        self.retried = 0
+        self.dropped = 0
+        self.stalled = 0
+        self._stopping = False
+
+    def stop(self) -> None:
+        self._stopping = True
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """The supervision loop; cancelled (or stopped) at shutdown."""
+        while not self._stopping:
+            self.sweep()
+            await asyncio.sleep(self.interval)
+
+    def sweep(self) -> None:
+        """One pass over the fleet (synchronous, also called by tests)."""
+        for position, actor in enumerate(list(self.daemon.actors)):
+            if actor.stopped:
+                continue
+            if not actor.is_alive() and actor.ident is not None:
+                self._restart(position, actor)
+            elif (
+                actor.is_alive()
+                and actor.busy
+                and actor.heartbeat_age() > self.heartbeat_timeout
+            ):
+                # Visibility only: threads cannot be killed, and the
+                # per-request timeout already owns the client outcome.
+                self.stalled += 1
+                self.daemon.log_event(
+                    "actor_stalled",
+                    actor=actor.name,
+                    heartbeat_age_s=round(actor.heartbeat_age(), 3),
+                )
+
+    def _restart(self, position: int, actor) -> None:
+        """Replace one dead actor and re-admit (or fail) its request."""
+        self.restarts += 1
+        record = actor.current
+        self.daemon.log_event(
+            "actor_restart",
+            actor=actor.name,
+            crashed=actor.crashed,
+            request=record.request.id if record is not None else None,
+            attempts=record.attempts if record is not None else None,
+        )
+        replacement = self.daemon.spawn_actor(position)
+        if record is None or record.done:
+            return
+        # The crashed actor held an in-flight record: it left dispatch
+        # accounting open, so settle it here — either back into the queue
+        # or as a terminal failure.
+        self.daemon.settle_crashed(record)
+        if record.attempts <= self.max_retries:
+            self.retried += 1
+            self.daemon.log_event(
+                "request_retried", request=record.request.id, attempts=record.attempts
+            )
+            self.daemon.requeue(record)
+        else:
+            self.dropped += 1
+            self.daemon.fail_record(
+                record,
+                error_response(
+                    "worker_crashed",
+                    f"worker crashed {record.attempts} time(s) executing "
+                    f"request {record.request.id}; retry budget exhausted",
+                    request_id=record.request.id,
+                ),
+            )
+        del replacement  # already registered by spawn_actor
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "restarts": self.restarts,
+            "retried": self.retried,
+            "dropped": self.dropped,
+            "stalled": self.stalled,
+        }
+
+
+def now() -> float:
+    """Wall-clock seconds (journal timestamps; monotonic is per-boot)."""
+    return time.time()

@@ -133,6 +133,86 @@ class TestHandleRoundTrip:
 
 
 @needs_shm
+class TestConsolidatedSegment:
+    """Sub-threshold arrays bundle into one consolidated segment."""
+
+    def test_small_arrays_leave_the_payload(self, shm_baseline):
+        rng = np.random.default_rng(11)
+        graph = {
+            "big": rng.standard_normal(20_000),
+            "small": [rng.standard_normal(64) for _ in range(20)],
+            "ints": np.arange(200, dtype=np.int32),
+        }
+        with ShmRegistry() as registry:
+            bundled = ShmPackage.pack(graph, registry)
+            plain = ShmPackage.pack(graph, registry, consolidate_min=None)
+            assert bundled.consolidated is not None
+            assert bundled.consolidated_arrays == 21
+            small_bytes = sum(a.nbytes for a in graph["small"]) + graph["ints"].nbytes
+            assert bundled.consolidated_bytes == small_bytes
+            # The reduction the bundle buys: small arrays no longer ride
+            # pickled in the payload.
+            assert bundled.pickled_bytes < plain.pickled_bytes - small_bytes // 2
+            out = pickle.loads(pickle.dumps(bundled)).unpack()
+            np.testing.assert_array_equal(out["big"], graph["big"])
+            for got, expected in zip(out["small"], graph["small"]):
+                np.testing.assert_array_equal(got, expected)
+            np.testing.assert_array_equal(out["ints"], graph["ints"])
+            assert not out["small"][0].flags.writeable
+        assert_no_new_segments(shm_baseline)
+
+    def test_duplicate_references_share_one_entry(self):
+        shared = np.arange(100, dtype=np.float64)
+        graph = {"a": shared, "b": shared, "c": [shared, shared]}
+        with ShmRegistry() as registry:
+            package = ShmPackage.pack(graph, registry)
+            assert package.consolidated_arrays == 1
+            out = package.unpack()
+            assert out["a"] is out["b"] is out["c"][0] is out["c"][1]
+            np.testing.assert_array_equal(out["a"], shared)
+
+    def test_mixed_dtypes_reconstruct_aligned(self):
+        graph = [
+            np.arange(9, dtype=np.int8),  # odd size forces padding
+            np.arange(33, dtype=np.float32),
+            np.arange(17, dtype=np.float64).reshape(1, 17),
+            np.array([[1, 2], [3, 4]], dtype=np.uint16),
+        ]
+        with ShmRegistry() as registry:
+            out = ShmPackage.pack(graph, registry).unpack()
+            for got, expected in zip(out, graph):
+                assert got.dtype == expected.dtype
+                assert got.shape == expected.shape
+                np.testing.assert_array_equal(got, expected)
+
+    def test_tiny_arrays_stay_pickled(self):
+        graph = {"tiny": np.arange(3, dtype=np.int8)}  # < consolidate floor
+        with ShmRegistry() as registry:
+            package = ShmPackage.pack(graph, registry)
+            assert package.consolidated is None
+            assert package.consolidated_arrays == 0
+            np.testing.assert_array_equal(package.unpack()["tiny"], graph["tiny"])
+
+    def test_sweep_report_records_consolidation(self, shm_baseline):
+        specs = sweep(
+            ExperimentSpec(scene="lego", resolution_scale=0.5),
+            num_hfu=(2, 4, 6, 8),
+        )
+        session = Session(seed=3, jobs=2)
+        try:
+            result = session.run_sweep(specs, swept=["num_hfu"], jobs=2)
+            report = result.meta["execution"]
+            if report["mode"] == "process":  # not degraded on this host
+                assert report["consolidated_arrays"] > 0
+                assert report["consolidated_bytes"] > 0
+                # The consolidated remainder dwarfs what is still pickled.
+                assert report["pickled_bytes"] < report["consolidated_bytes"]
+        finally:
+            session.close()
+        assert_no_new_segments(shm_baseline)
+
+
+@needs_shm
 class TestRegistryLifecycle:
     def test_close_unlinks_everything(self, shm_baseline):
         registry = ShmRegistry()

@@ -33,3 +33,27 @@ def test_quickstart_runs_on_small_scene():
     assert completed.returncode == 0, completed.stderr
     assert "PSNR vs ground truth" in completed.stdout
     assert "experiment point — lego/3dgs/streaminggs" in completed.stdout
+
+
+def test_service_client_example_runs_embedded_daemon():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "examples" / "service_client.py"),
+            "--scene",
+            "lego",
+            "--resolution-scale",
+            "0.25",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "render (warm): lego" in completed.stdout
+    assert "rejected=0" in completed.stdout
+    assert "daemon drained and stopped" in completed.stdout

@@ -1,0 +1,87 @@
+"""Wire-protocol unit tests: framing, validation, round trips."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    CONTROL_KINDS,
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    ServiceRequest,
+    ServiceResponse,
+    WORK_KINDS,
+    decode_message,
+    encode_message,
+    error_response,
+)
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"kind": "render", "payload": {"scene": "lego"}, "id": "r1"}
+        frame = encode_message(message)
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1  # JSON escapes embedded newlines
+        assert decode_message(frame) == message
+
+    def test_embedded_newlines_stay_escaped(self):
+        frame = encode_message({"error": "line one\nline two"})
+        assert frame.count(b"\n") == 1
+        assert decode_message(frame)["error"] == "line one\nline two"
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"x" * (MAX_MESSAGE_BYTES + 1))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2, 3]\n")  # not an object
+
+
+class TestRequest:
+    def test_round_trip(self):
+        request = ServiceRequest(
+            kind="sweep", payload={"grid": {"num_hfu": [1, 2]}}, client="bench"
+        )
+        clone = ServiceRequest.from_wire(
+            decode_message(encode_message(request.to_wire()))
+        )
+        assert clone == request
+
+    def test_kind_validated(self):
+        with pytest.raises(ProtocolError):
+            ServiceRequest(kind="explode")
+        with pytest.raises(ProtocolError):
+            ServiceRequest.from_wire({"payload": {}})
+
+    def test_every_kind_is_work_or_control(self):
+        assert not set(WORK_KINDS) & set(CONTROL_KINDS)
+        for kind in WORK_KINDS + CONTROL_KINDS:
+            assert ServiceRequest(kind=kind).kind == kind
+
+    def test_payload_must_be_object(self):
+        with pytest.raises(ProtocolError):
+            ServiceRequest(kind="render", payload=[1, 2])
+
+
+class TestResponse:
+    def test_success_round_trip(self):
+        response = ServiceResponse(ok=True, result={"psnr": 31.5}, id="r9")
+        response.meta["attempts"] = 1
+        clone = ServiceResponse.from_wire(
+            decode_message(encode_message(response.to_wire()))
+        )
+        assert clone.ok and clone.result == {"psnr": 31.5}
+        assert clone.meta["attempts"] == 1
+
+    def test_reject_carries_retry_after(self):
+        response = error_response("queue_full", "full", "r1", retry_after_s=0.25)
+        wire = response.to_wire()
+        assert wire["code"] == "queue_full"
+        assert wire["retry_after_s"] == pytest.approx(0.25)
+        clone = ServiceResponse.from_wire(json.loads(encode_message(wire)))
+        assert not clone.ok
+        assert clone.retry_after_s == pytest.approx(0.25)

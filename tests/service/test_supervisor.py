@@ -1,0 +1,44 @@
+"""Journal unit tests: persistence, discard, corrupt-entry tolerance."""
+
+import json
+
+from repro.service.protocol import ServiceRequest
+from repro.service.supervisor import Journal
+
+
+class TestJournal:
+    def test_record_pending_discard(self, tmp_path):
+        journal = Journal(tmp_path / "journal")
+        first = ServiceRequest(kind="sleep", payload={"seconds": 0}, id="a1")
+        second = ServiceRequest(kind="render", payload={"scene": "lego"}, id="a2")
+        journal.record(second, accepted_at=200.0)
+        journal.record(first, accepted_at=100.0)
+        assert len(journal) == 2
+        pending = journal.pending()
+        assert [entry["id"] for entry in pending] == ["a1", "a2"]  # oldest first
+        assert pending[1]["payload"] == {"scene": "lego"}
+        journal.discard("a1")
+        assert [entry["id"] for entry in journal.pending()] == ["a2"]
+        journal.discard("a1")  # idempotent
+        journal.discard("a2")
+        assert len(journal) == 0
+
+    def test_corrupt_entry_moved_aside(self, tmp_path):
+        root = tmp_path / "journal"
+        journal = Journal(root)
+        journal.record(ServiceRequest(kind="sleep", id="ok"), accepted_at=1.0)
+        (root / "req-bad.json").write_text("{truncated")
+        (root / "req-shape.json").write_text(json.dumps({"no": "kind"}))
+        pending = journal.pending()
+        assert [entry["id"] for entry in pending] == ["ok"]
+        assert (root / "req-bad.json.corrupt").exists()
+        assert (root / "req-shape.json.corrupt").exists()
+        assert len(journal) == 1  # corrupt files no longer counted
+
+    def test_disabled_journal_is_inert(self):
+        journal = Journal(None)
+        assert not journal.enabled
+        journal.record(ServiceRequest(kind="sleep", id="x"), accepted_at=0.0)
+        journal.discard("x")
+        assert journal.pending() == []
+        assert len(journal) == 0
