@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Temporal-coherence trajectory benchmark.
+
+Renders a registered camera trajectory twice — cold per-frame rendering
+(``temporal_mode="off"``) and the carry fast path (``"carry"``) — checks
+frame-by-frame parity (images within 1e-9, workload statistics exactly
+equal), and appends the result to the ``BENCH_trajectory.json`` trajectory
+next to this script::
+
+    PYTHONPATH=src python benchmarks/bench_trajectory.py
+    PYTHONPATH=src python benchmarks/bench_trajectory.py --check
+
+``--check`` exits non-zero when the amortized warm (carry) trajectory is
+slower than ``--max-ratio`` times the cold one, the images disagree, or
+any statistic differs, which makes the script usable as a CI gate.  The
+default workload is a dense full-orbit of the ``train`` scene where the
+carry path's frame-restructured execution and content-keyed carries pay
+off; CI runs a reduced orbit with an explicit ``--max-ratio`` sized for
+shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.api.store import append_trajectory
+from repro.engine.bench import run_trajectory_benchmark
+
+#: Acceptance bar: amortized carry-trajectory time over the cold one.
+REQUIRED_MAX_RATIO = 0.6
+
+#: Acceptance bar: maximum image deviation between the temporal modes.
+REQUIRED_ATOL = 1e-9
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_trajectory.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scene", default="train")
+    parser.add_argument("--path", default="orbit", help="registered trajectory name")
+    parser.add_argument("--frames", type=int, default=24)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.5,
+        help="resolution scale of the trajectory's cameras",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=REQUIRED_MAX_RATIO,
+        help=f"warm/cold ratio bar for --check (default {REQUIRED_MAX_RATIO}; "
+        "use a looser bar on noisy shared runners)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless warm ratio <= --max-ratio, images agree and "
+        "statistics are exactly equal",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=TRAJECTORY_PATH,
+        help="trajectory file to append the result to",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_trajectory_benchmark(
+        scene=args.scene,
+        path=args.path,
+        frames=args.frames,
+        resolution_scale=args.scale,
+        repeats=args.repeats,
+    )
+    print(result.format())
+
+    entry = result.as_dict()
+    entry["cpu_count"] = os.cpu_count()
+    entry["max_ratio_gate"] = args.max_ratio
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    append_trajectory(args.output, entry)
+    print(f"appended trajectory entry to {args.output}")
+
+    if args.check:
+        if not result.stats_equal:
+            print(
+                f"FAIL: streaming statistics differ ({result.stats_detail})",
+                file=sys.stderr,
+            )
+            return 1
+        if result.max_image_delta > REQUIRED_ATOL:
+            print(
+                f"FAIL: temporal modes disagree (max delta "
+                f"{result.max_image_delta:.3g} > {REQUIRED_ATOL})",
+                file=sys.stderr,
+            )
+            return 1
+        if result.warm_ratio > args.max_ratio:
+            print(
+                f"FAIL: warm ratio {result.warm_ratio:.3f} > {args.max_ratio}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: warm ratio {result.warm_ratio:.3f} <= {args.max_ratio}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,12 @@ The public surface:
   cache and a seeded RNG; everything runs through it.
 * :class:`~repro.api.spec.ExperimentSpec` — one declarative evaluation
   point (scene x algorithm x compression x config overrides x arch model).
+* :class:`~repro.api.spec.TrajectorySpec` — one declarative trajectory
+  workload (scene x camera path x frames x render options), rendered
+  through the temporal-coherence fast path via ``Session.render`` /
+  ``Session.run_trajectory``.
+* :class:`~repro.engine.service.RenderOptions` — how a render executes
+  (tile workers, kernel/temporal overrides, resolution scale).
 * :func:`~repro.api.spec.sweep` — expands parameter grids into spec lists
   (Fig. 12 / Fig. 13-style sensitivity studies).
 * :class:`~repro.api.result.ExperimentResult` /
@@ -48,10 +54,11 @@ from repro.api.spec import (
     ARCH_MODELS,
     COMPRESSION_MODES,
     ExperimentSpec,
+    TrajectorySpec,
     sweep,
 )
-from repro.api.store import ResultStore, append_trajectory, atomic_write_json, spec_key
-from repro.api.pool import WorkerPool, worker_session
+from repro.api.store import ResultStore, append_trajectory, spec_key
+from repro.api.pool import WorkerPool
 from repro.api.shm import (
     SharedArrayHandle,
     SharedMemoryUnavailable,
@@ -68,13 +75,19 @@ from repro.api.executor import (
     schedule_experiments,
 )
 from repro.api.session import Session, get_default_session, reset_default_session
+from repro.engine.service import RenderOptions
 
+# The public API surface.  Internals stay importable from their modules
+# (``repro.api.pool.worker_session``, ``repro.api.store.atomic_write_json``)
+# but are not re-exported here; ``tests/api/test_api_surface.py`` asserts
+# the module's importable names match this list exactly.
 __all__ = [
     "ARCH_MODELS",
     "COMPRESSION_MODES",
     "ExecutionReport",
     "ExperimentResult",
     "ExperimentSpec",
+    "RenderOptions",
     "ResultStore",
     "ScheduleReport",
     "Session",
@@ -85,9 +98,9 @@ __all__ = [
     "SpecEvaluationError",
     "SweepExecutor",
     "SweepResult",
+    "TrajectorySpec",
     "WorkerPool",
     "append_trajectory",
-    "atomic_write_json",
     "get_default_session",
     "jsonify",
     "leaked_segments",
@@ -96,5 +109,4 @@ __all__ = [
     "shm_available",
     "spec_key",
     "sweep",
-    "worker_session",
 ]

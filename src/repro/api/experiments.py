@@ -360,6 +360,17 @@ def _claims(session: Session, **kwargs: Any) -> ExperimentResult:
     )
 
 
+@register(
+    "trajectory",
+    "Temporal-coherence trajectory workload (carry fast path)",
+    cost_hint=3.0,
+)
+def _trajectory(session: Session, **kwargs: Any) -> ExperimentResult:
+    from repro.api.spec import TrajectorySpec
+
+    return session.run_trajectory(TrajectorySpec.from_dict(kwargs))
+
+
 @register("engine", "Blending-kernel micro-benchmark (engine layer)", cost_hint=1.0)
 def _engine(session: Session, **kwargs: Any) -> ExperimentResult:
     from repro.engine.bench import run_kernel_benchmark

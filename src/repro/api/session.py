@@ -7,6 +7,11 @@ runs share prepared state.  Everything the repository can do is reachable
 from it:
 
 * ``session.render(model, camera)`` — one render through the shared engine;
+* ``session.render("train", "orbit", frames=24)`` — a whole trajectory
+  workload (named path or explicit camera list, or a full
+  :class:`~repro.api.spec.TrajectorySpec`) through the temporal-coherence
+  fast path, with :meth:`Session.run_trajectory` producing the cacheable
+  :class:`~repro.api.result.ExperimentResult` form;
 * ``session.context(scene)`` — the cached evaluation context of a scene;
 * ``session.run(spec)`` — one declarative experiment point
   (:class:`~repro.api.spec.ExperimentSpec`) evaluated end to end, returning
@@ -47,7 +52,7 @@ from repro.analysis.context import SceneContext, build_scene_context
 from repro.analysis.report import format_table
 from repro.api.pool import WorkerPool
 from repro.api.result import ExperimentResult, SweepResult
-from repro.api.spec import ACCELERATOR_ARCHS, ExperimentSpec, sweep
+from repro.api.spec import ACCELERATOR_ARCHS, ExperimentSpec, TrajectorySpec, sweep
 from repro.api.store import ResultStore, resolve_store
 from repro.arch.area import AreaModel
 from repro.arch.gpu import OrinNXModel
@@ -56,13 +61,14 @@ from repro.arch.accelerator import StreamingGSAccelerator
 from repro.core.config import StreamingConfig
 from repro.engine.service import (
     DEFAULT_RENDERER_CACHE_SIZE,
+    RenderOptions,
     RenderRequest,
     RenderResponse,
     RenderService,
 )
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
-from repro.scenes.registry import SCENE_REGISTRY
+from repro.scenes.registry import SCENE_REGISTRY, build_scene
 
 #: Scene contexts kept alive per session (each owns a calibrated model,
 #: ground-truth image and workload).
@@ -130,6 +136,9 @@ class Session:
         self.jobs = jobs
         self.store = resolve_store(store)
         self._contexts: "OrderedDict[Tuple, SceneContext]" = OrderedDict()
+        #: Procedural scene models built by name-based renders (cheap next
+        #: to a full SceneContext, but not free — one build per scene).
+        self._scene_models: Dict[str, GaussianModel] = {}
         self._pool: Optional[WorkerPool] = None
         #: Shared-memory registry + per-context-key package cache backing
         #: zero-copy context broadcast (created lazily by parallel sweeps).
@@ -145,18 +154,156 @@ class Session:
     # ------------------------------------------------------------------
     # Rendering (delegates to the shared engine service).
     # ------------------------------------------------------------------
+    def scene_model(self, scene: str) -> GaussianModel:
+        """The cached procedural Gaussian model of a registered scene."""
+        model = self._scene_models.get(scene)
+        if model is None:
+            model = build_scene(scene)
+            self._scene_models[scene] = model
+        return model
+
     def render(
         self,
-        model: GaussianModel,
-        camera: Camera,
+        scene: Union[GaussianModel, str, TrajectorySpec],
+        camera_or_trajectory: Union[Camera, str, Sequence[Camera], None] = None,
         config: Optional[StreamingConfig] = None,
         mode: str = "streaming",
         tag: str = "",
-    ) -> RenderResponse:
-        """Render one (model, camera) pair through the session's engine."""
-        return self.service.render(
-            RenderRequest(model=model, camera=camera, config=config, mode=mode, tag=tag)
+        options: Optional[RenderOptions] = None,
+        frames: int = 16,
+    ) -> Union[RenderResponse, List[RenderResponse]]:
+        """Render one frame or a whole trajectory through the session's engine.
+
+        The public single-frame/trajectory entry point.  Accepted forms:
+
+        * ``render(model, camera)`` — the original single-frame form
+          (returns one :class:`RenderResponse`);
+        * ``render("train", camera)`` — same, with the scene's cached
+          procedural model resolved by name;
+        * ``render("train", "orbit", frames=24)`` — a registered trajectory
+          workload (returns the per-frame response list; see
+          :data:`repro.scenes.registry.TRAJECTORY_REGISTRY`);
+        * ``render(model_or_scene, [cam0, cam1, ...])`` — an explicit
+          camera path;
+        * ``render(trajectory_spec)`` — a full
+          :class:`~repro.api.spec.TrajectorySpec` workload.
+
+        ``options`` (:class:`~repro.engine.service.RenderOptions`) controls
+        execution — tile workers, kernel/temporal overrides, resolution
+        scale.  Trajectory forms leave their aggregated telemetry in
+        ``session.service.last_trajectory``; named trajectories default to
+        ``temporal_mode="carry"`` (via :meth:`TrajectorySpec.streaming_config`),
+        explicit camera lists render with ``config`` as passed.
+        """
+        if isinstance(scene, TrajectorySpec):
+            if camera_or_trajectory is not None:
+                raise TypeError(
+                    "a TrajectorySpec already carries its cameras; "
+                    "pass it as the only positional argument"
+                )
+            return self.render_trajectory(scene, config=config, options=options)
+        if camera_or_trajectory is None:
+            raise TypeError("render() needs a camera, trajectory name or camera list")
+        model = self.scene_model(scene) if isinstance(scene, str) else scene
+        target = camera_or_trajectory
+        if isinstance(target, Camera):
+            return self.service.render(
+                RenderRequest(
+                    model=model, camera=target, config=config, mode=mode, tag=tag
+                ),
+                options=options,
+            )
+        if mode != "streaming":
+            raise ValueError("trajectory renders are streaming-only")
+        if isinstance(target, str):
+            if not isinstance(scene, str):
+                raise TypeError(
+                    "a named trajectory needs a registered scene name, not a model"
+                )
+            spec = TrajectorySpec(scene=scene, path=target, frames=frames, tag=tag)
+            return self.render_trajectory(spec, config=config, options=options)
+        return self.service.render_trajectory(
+            model, list(target), config=config, options=options, tag=tag
         )
+
+    def render_trajectory(
+        self,
+        spec: TrajectorySpec,
+        config: Optional[StreamingConfig] = None,
+        options: Optional[RenderOptions] = None,
+    ) -> List[RenderResponse]:
+        """Render a trajectory spec's camera path, one response per frame.
+
+        ``config`` / ``options`` override the spec's resolved streaming
+        config (scene default + carry) and render options when given.
+        Aggregated telemetry (warm frames, coherence hit rate) lands in
+        ``session.service.last_trajectory``.
+        """
+        model = self.scene_model(spec.scene)
+        return self.service.render_trajectory(
+            model,
+            spec.cameras(),
+            config=config if config is not None else spec.streaming_config(),
+            options=options if options is not None else spec.render_options(),
+            tag=spec.tag,
+        )
+
+    def run_trajectory(
+        self,
+        spec: TrajectorySpec,
+        cache: Optional[Union[ResultStore, str, Path, bool]] = None,
+    ) -> ExperimentResult:
+        """Run a trajectory workload end to end, with result-store caching.
+
+        Renders the spec (:meth:`render_trajectory`), folds the per-frame
+        telemetry into an :class:`~repro.api.result.ExperimentResult`
+        (coherence counters, wall seconds, image checksums) and caches it
+        under the spec's canonical key — same contract as experiment
+        points, so trajectory runs share the
+        :class:`~repro.api.store.ResultStore` machinery.
+        """
+        store = self.store if cache is None else resolve_store(cache)
+        if store is not None:
+            cached = store.get(spec)
+            if cached is not None:
+                return cached
+        responses = self.render_trajectory(spec)
+        summary = dict(self.service.last_trajectory or {})
+        per_frame = summary.pop("per_frame", [])
+        seconds = [float(f.get("seconds", 0.0)) for f in per_frame]
+        metrics = {
+            "frames": float(summary.get("frames", len(responses))),
+            "warm_frames": float(summary.get("warm_frames", 0)),
+            "cold_frames": float(summary.get("cold_frames", 0)),
+            "coherence_hit_rate": float(summary.get("coherence_hit_rate", 0.0)),
+            "carried_voxels": float(summary.get("carried_voxels", 0)),
+            "revalidated": float(summary.get("revalidated", 0)),
+            "total_seconds": float(sum(seconds)),
+            "mean_frame_ms": (
+                1e3 * float(np.mean(seconds)) if seconds else 0.0
+            ),
+        }
+        title = f"trajectory — {spec.label}"
+        rows = [[name, value] for name, value in metrics.items()]
+        result = ExperimentResult(
+            name="trajectory",
+            title=title,
+            text=format_table(["metric", "value"], rows, title=title),
+            metrics=metrics,
+            payload={
+                "spec": spec.to_dict(),
+                "summary": summary,
+                "per_frame": per_frame,
+                "image_checksums": [
+                    float(np.abs(response.image).sum()) for response in responses
+                ],
+            },
+            meta={"label": spec.label, "tag": spec.tag},
+        )
+        self.points_run += 1
+        if store is not None:
+            store.put(spec, result)
+        return result
 
     def render_batch(self, requests: Iterable[RenderRequest]) -> List[RenderResponse]:
         """Serve many render requests, sharing renderers and frames."""
@@ -550,6 +697,7 @@ class Session:
             self._pool.shutdown()
             self._pool = None
         self._contexts.clear()
+        self._scene_models.clear()
         self._context_packages.clear()
         if self._shm_registry is not None:
             # Unlink every shared segment the session published; workers
@@ -579,8 +727,9 @@ class Session:
         }
 
     def clear(self) -> None:
-        """Drop cached contexts and renderers (counters are kept)."""
+        """Drop cached contexts, models and renderers (counters are kept)."""
         self._contexts.clear()
+        self._scene_models.clear()
         self.service.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

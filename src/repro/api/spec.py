@@ -21,7 +21,9 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.arch.accelerator import AcceleratorConfig
 from repro.core.config import StreamingConfig
-from repro.scenes.registry import SCENE_REGISTRY, SceneDescriptor
+from repro.engine.service import RenderOptions
+from repro.gaussians.camera import Camera
+from repro.scenes.registry import SCENE_REGISTRY, TRAJECTORY_REGISTRY, SceneDescriptor
 
 #: Spec-level axes a sweep can vary directly.
 SPEC_AXES = ("scene", "algorithm", "compression", "arch", "resolution_scale", "tag")
@@ -309,3 +311,334 @@ def sweep(base: Optional[ExperimentSpec] = None, **grid: Any) -> List[Experiment
                 updates["tag"] = f"{base.tag}: {point}" if base.tag else point
         specs.append(replace(base, config=config, arch_options=arch_options, **updates))
     return specs
+
+
+# ----------------------------------------------------------------------
+# Trajectory specifications.
+# ----------------------------------------------------------------------
+
+#: RenderOptions fields adjustable through ``TrajectorySpec.options``;
+#: ``resolution_scale`` is reserved — it is a spec axis (it shapes the
+#: generated cameras, not just the render call).
+_TRAJECTORY_OPTION_FIELDS = frozenset(
+    f.name for f in dataclass_fields(RenderOptions)
+) - {"resolution_scale"}
+
+#: Keys of one explicit camera pose in a :class:`TrajectorySpec` path.
+_POSE_REQUIRED = ("rotation", "translation", "width", "height", "fx", "fy")
+_POSE_OPTIONAL = ("near", "far")
+
+
+def _freeze_pose(pose: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize one explicit pose (Camera or mapping) to a hashable tuple.
+
+    The frozen form is JSON-native scalars only — rotation as nine floats,
+    translation as three — so explicit trajectories stay hashable,
+    canonicalizable and wire-expressible exactly like named ones.
+    """
+    if isinstance(pose, Camera):
+        pose = {
+            "rotation": pose.rotation.reshape(-1).tolist(),
+            "translation": pose.translation.tolist(),
+            "width": pose.width,
+            "height": pose.height,
+            "fx": pose.fx,
+            "fy": pose.fy,
+            "near": pose.near,
+            "far": pose.far,
+        }
+    items = dict(pose)
+    missing = sorted(set(_POSE_REQUIRED) - set(items))
+    if missing:
+        raise ValueError(f"explicit pose missing field(s) {missing}")
+    unknown = sorted(set(items) - set(_POSE_REQUIRED) - set(_POSE_OPTIONAL))
+    if unknown:
+        raise ValueError(
+            f"unknown pose field(s) {unknown}; "
+            f"allowed: {sorted(_POSE_REQUIRED + _POSE_OPTIONAL)}"
+        )
+    rotation = tuple(float(v) for v in items["rotation"])
+    if len(rotation) != 9:
+        raise ValueError(f"pose rotation must have 9 entries, got {len(rotation)}")
+    translation = tuple(float(v) for v in items["translation"])
+    if len(translation) != 3:
+        raise ValueError(
+            f"pose translation must have 3 entries, got {len(translation)}"
+        )
+    frozen = {
+        "rotation": rotation,
+        "translation": translation,
+        "width": int(items["width"]),
+        "height": int(items["height"]),
+        "fx": float(items["fx"]),
+        "fy": float(items["fy"]),
+        "near": float(items.get("near", 0.05)),
+        "far": float(items.get("far", 1000.0)),
+    }
+    return tuple(sorted(frozen.items()))
+
+
+def _pose_camera(pose: Tuple[Tuple[str, Any], ...]) -> Camera:
+    """Rebuild a :class:`Camera` from a frozen pose tuple."""
+    import numpy as np
+
+    items = dict(pose)
+    return Camera(
+        rotation=np.array(items["rotation"], dtype=np.float64).reshape(3, 3),
+        translation=np.array(items["translation"], dtype=np.float64),
+        width=items["width"],
+        height=items["height"],
+        fx=items["fx"],
+        fy=items["fy"],
+        near=items["near"],
+        far=items["far"],
+    )
+
+
+def _pose_dict(pose: Tuple[Tuple[str, Any], ...]) -> Dict[str, Any]:
+    """JSON-native form of a frozen pose tuple."""
+    items = dict(pose)
+    return {
+        "rotation": list(items["rotation"]),
+        "translation": list(items["translation"]),
+        "width": items["width"],
+        "height": items["height"],
+        "fx": items["fx"],
+        "fy": items["fy"],
+        "near": items["near"],
+        "far": items["far"],
+    }
+
+
+@dataclass(frozen=True)
+class TrajectorySpec:
+    """One declarative trajectory workload: a scene, a camera path, options.
+
+    The trajectory-side sibling of :class:`ExperimentSpec` — same frozen /
+    hashable / canonicalizable contract, so trajectory runs are cacheable
+    in a :class:`~repro.api.store.ResultStore` and expressible over the
+    service wire protocol.
+
+    Attributes
+    ----------
+    scene:
+        Registered scene name.
+    path:
+        Either a registered trajectory name (``orbit``, ``walkthrough``,
+        ``dolly`` — see
+        :data:`repro.scenes.registry.TRAJECTORY_REGISTRY`) or an explicit
+        pose list (:class:`~repro.gaussians.camera.Camera` objects or pose
+        mappings with ``rotation``/``translation``/``width``/``height``/
+        ``fx``/``fy`` and optional ``near``/``far``).
+    frames:
+        Frame count of a named path.  For an explicit pose list the count
+        is derived from the list (the field is overwritten to match).
+    config:
+        :class:`StreamingConfig` field overrides applied on top of the
+        trajectory base config — the scene's paper-default voxel size with
+        ``temporal_mode="carry"`` (trajectories default to the coherence
+        fast path; override ``temporal_mode="off"`` to force cold frames).
+    options:
+        :class:`~repro.engine.service.RenderOptions` field overrides
+        (``tile_workers``, ``tile_mode``, ``streaming_kernel``,
+        ``temporal_mode``).  ``resolution_scale`` is reserved — set it on
+        the spec, where it shapes the generated cameras.
+    resolution_scale:
+        Scale factor on the trajectory's camera resolution.
+    tag:
+        Free-form label carried into result metadata (kept in the
+        canonical form: differently tagged runs are distinct artifacts).
+    """
+
+    scene: str = "train"
+    path: Union[str, Tuple[Tuple[Tuple[str, Any], ...], ...], List[Any]] = "orbit"
+    frames: int = 16
+    config: Overrides = field(default_factory=tuple)
+    options: Overrides = field(default_factory=tuple)
+    resolution_scale: float = 1.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "config", _freeze(self.config, _CONFIG_FIELDS, "StreamingConfig")
+        )
+        object.__setattr__(
+            self,
+            "options",
+            _freeze(self.options, _TRAJECTORY_OPTION_FIELDS, "RenderOptions"),
+        )
+        if self.scene not in SCENE_REGISTRY:
+            raise ValueError(
+                f"unknown scene {self.scene!r}; available: {sorted(SCENE_REGISTRY)}"
+            )
+        if isinstance(self.path, str):
+            if self.path not in TRAJECTORY_REGISTRY:
+                raise ValueError(
+                    f"unknown trajectory {self.path!r}; "
+                    f"available: {sorted(TRAJECTORY_REGISTRY)}"
+                )
+            if self.frames < 1:
+                raise ValueError(f"frames must be >= 1, got {self.frames}")
+        else:
+            poses = tuple(_freeze_pose(pose) for pose in self.path)
+            if not poses:
+                raise ValueError("explicit trajectory path has no poses")
+            object.__setattr__(self, "path", poses)
+            object.__setattr__(self, "frames", len(poses))
+        if self.resolution_scale <= 0:
+            raise ValueError(
+                f"resolution_scale must be positive, got {self.resolution_scale}"
+            )
+        # Instantiate eagerly so invalid option values fail at spec
+        # construction, not at render time.
+        self.render_options()
+
+    # ------------------------------------------------------------------
+    @property
+    def config_overrides(self) -> Dict[str, Any]:
+        """StreamingConfig overrides as a plain dictionary."""
+        return dict(self.config)
+
+    @property
+    def option_overrides(self) -> Dict[str, Any]:
+        """RenderOptions overrides as a plain dictionary."""
+        return dict(self.options)
+
+    @property
+    def descriptor(self) -> SceneDescriptor:
+        return SCENE_REGISTRY[self.scene]
+
+    @property
+    def path_name(self) -> str:
+        """The path's display name (``custom`` for explicit pose lists)."""
+        return self.path if isinstance(self.path, str) else "custom"
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label (tag wins when set)."""
+        return self.tag or f"{self.scene}/{self.path_name}x{self.frames}"
+
+    # ------------------------------------------------------------------
+    def _base_config(self) -> StreamingConfig:
+        return StreamingConfig(
+            voxel_size=self.descriptor.default_voxel_size, temporal_mode="carry"
+        )
+
+    def streaming_config(self) -> StreamingConfig:
+        """The resolved :class:`StreamingConfig` of this trajectory.
+
+        Starts from the scene's paper-default voxel size with the temporal
+        carry path on, then applies the explicit config overrides.
+        """
+        overrides = self.config_overrides
+        base = self._base_config()
+        return base.with_options(**overrides) if overrides else base
+
+    def render_options(self) -> RenderOptions:
+        """The resolved :class:`~repro.engine.service.RenderOptions`.
+
+        ``resolution_scale`` stays ``1.0`` here: the spec applies it while
+        generating the cameras (:meth:`cameras`), so the render path never
+        scales twice.
+        """
+        return RenderOptions(**self.option_overrides)
+
+    def cameras(self) -> List[Camera]:
+        """The trajectory's camera list at the spec's resolution scale."""
+        if isinstance(self.path, str):
+            from repro.scenes.registry import trajectory_cameras
+
+            return trajectory_cameras(
+                self.scene,
+                self.path,
+                self.frames,
+                resolution_scale=self.resolution_scale,
+            )
+        cameras = [_pose_camera(pose) for pose in self.path]
+        if self.resolution_scale != 1.0:
+            cameras = [camera.scaled(self.resolution_scale) for camera in cameras]
+        return cameras
+
+    def with_options(self, **kwargs: Any) -> "TrajectorySpec":
+        """A copy with the given spec fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native representation (used in result metadata / the wire)."""
+        path: Any = (
+            self.path
+            if isinstance(self.path, str)
+            else [_pose_dict(pose) for pose in self.path]
+        )
+        return {
+            "scene": self.scene,
+            "path": path,
+            "frames": self.frames,
+            "config": self.config_overrides,
+            "options": self.option_overrides,
+            "resolution_scale": self.resolution_scale,
+            "tag": self.tag,
+        }
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The spec reduced to what actually selects its workload.
+
+        Mirrors :meth:`ExperimentSpec.canonical_dict`: config overrides
+        that restate the trajectory base config (scene default voxel size,
+        ``temporal_mode="carry"``) and option overrides that restate the
+        :class:`RenderOptions` defaults are dropped, numeric values are
+        normalized to floats, and ``tag`` is kept.  The result-store hash
+        (:func:`repro.api.store.spec_key`) is built on this form.
+        """
+
+        def normalize(value: Any) -> Any:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return value
+            return float(value)
+
+        base = self._base_config()
+        config = {
+            key: normalize(value)
+            for key, value in self.config_overrides.items()
+            if getattr(base, key) != value
+        }
+        defaults = RenderOptions()
+        options = {
+            key: normalize(value)
+            for key, value in self.option_overrides.items()
+            if getattr(defaults, key) != value
+        }
+        path: Any = (
+            self.path
+            if isinstance(self.path, str)
+            else [_pose_dict(pose) for pose in self.path]
+        )
+        return {
+            "scene": self.scene,
+            "path": path,
+            "frames": int(self.frames),
+            "config": config,
+            "options": options,
+            "resolution_scale": float(self.resolution_scale),
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrajectorySpec":
+        """Rebuild a spec from its :meth:`to_dict` form (lossless)."""
+        known = {field.name for field in dataclass_fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown trajectory field(s) {unknown}; allowed: {sorted(known)}"
+            )
+        return cls(**{key: data[key] for key in data})
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON form; :meth:`from_json` reproduces the spec."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrajectorySpec":
+        return cls.from_dict(json.loads(text))

@@ -29,6 +29,7 @@ from repro.core.voxel_order import (
     topological_orders_for_tables,
     topological_voxel_order,
     voxel_depth_map,
+    voxel_depth_values,
 )
 from repro.core.hierarchical_filter import FilterStats, HierarchicalFilter
 from repro.core.data_layout import DataLayout, LayoutTraffic
@@ -45,6 +46,7 @@ __all__ = [
     "topological_orders_for_tables",
     "topological_voxel_order",
     "voxel_depth_map",
+    "voxel_depth_values",
     "FilterStats",
     "HierarchicalFilter",
     "DataLayout",

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+#: Temporal-coherence modes of the streaming renderer.
+TEMPORAL_MODES = ("off", "carry")
+
 
 @dataclass(frozen=True)
 class StreamingConfig:
@@ -56,6 +59,16 @@ class StreamingConfig:
         Number of prepared frames (voxel depth map, per-tile ordering
         tables, topological orders) memoized per camera pose; 0 disables
         the frame-preparation cache.
+    temporal_mode:
+        Frame-over-frame coherence exploitation for trajectory workloads.
+        ``"off"`` (default) renders every frame cold; ``"carry"`` carries
+        content-keyed per-tile state (candidate gathers, topological
+        orders) from frame to frame and renders through the
+        frame-restructured fast path (:mod:`repro.engine.temporal`) —
+        images stay within 1e-9 of ``"off"`` and :class:`StreamingStats`
+        stay exactly equal.  The carry path requires the vectorized
+        streaming/blend kernels and serial tiles; other configurations
+        fall back to the cold path (recorded in the telemetry).
     """
 
     voxel_size: float = 2.0
@@ -70,6 +83,7 @@ class StreamingConfig:
     blend_kernel: str = "vectorized"
     streaming_kernel: str = "vectorized"
     frame_cache_size: int = 8
+    temporal_mode: str = "off"
 
     def __post_init__(self) -> None:
         if self.voxel_size <= 0:
@@ -105,6 +119,11 @@ class StreamingConfig:
         if self.frame_cache_size < 0:
             raise ValueError(
                 f"frame_cache_size must be non-negative, got {self.frame_cache_size!r}"
+            )
+        if self.temporal_mode not in TEMPORAL_MODES:
+            raise ValueError(
+                f"unknown temporal_mode {self.temporal_mode!r}; "
+                f"available: {sorted(TEMPORAL_MODES)}"
             )
 
     def with_options(self, **kwargs) -> "StreamingConfig":

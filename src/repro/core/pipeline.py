@@ -42,7 +42,7 @@ from repro.core.ray_voxel import ordering_tables_for_tiles
 from repro.core.voxel_grid import VoxelGrid
 from repro.core.voxel_order import (
     topological_orders_for_tables,
-    voxel_depth_map,
+    voxel_depth_values,
 )
 from repro.engine.cache import FrameCache, FramePreparation, frame_key
 from repro.engine.kernels import (
@@ -51,6 +51,7 @@ from repro.engine.kernels import (
     get_kernel,
 )
 from repro.engine.state import BlendState
+from repro.engine.temporal import TemporalContext, render_frame_carry
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
 from repro.gaussians.rasterizer import RenderOutput
@@ -277,6 +278,9 @@ class StreamingRenderer:
         self.background = np.asarray(self.config.background, dtype=np.float64)
         self.kernel = get_kernel(self.config.blend_kernel)
         self.frame_cache = FrameCache(capacity=self.config.frame_cache_size)
+        # Carried trajectory state (content-keyed caches, pose tracking) of
+        # the temporal-coherence path; idle unless ``temporal_mode="carry"``.
+        self.temporal = TemporalContext()
 
     # ------------------------------------------------------------------
     def prepare_frame(self, camera: Camera) -> FramePreparation:
@@ -298,7 +302,7 @@ class StreamingRenderer:
         if cached is not None:
             return cached
         tile_grid = TileGrid(camera.width, camera.height, config.tile_size)
-        depth_map = voxel_depth_map(self.grid, camera)
+        depth_map = voxel_depth_values(self.grid, camera)
         tile_bounds = {
             tile_id: tile_grid.tile_pixel_bounds(tile_id)
             for tile_id in range(tile_grid.num_tiles)
@@ -360,7 +364,6 @@ class StreamingRenderer:
         alpha_img = np.zeros((camera.height, camera.width), dtype=np.float64)
         stats = StreamingStats(num_tiles=tile_grid.num_tiles)
         stats.ensure_weight_arrays(len(self.source_model))
-        preparation = self.prepare_frame(camera)
         # The fast path is built on the broadcast blend machinery; a
         # reference *blend* kernel selection is honoured by falling back to
         # the per-voxel loop (which blends through ``self.kernel``), so
@@ -370,13 +373,40 @@ class StreamingRenderer:
             config.streaming_kernel == "vectorized"
             and config.blend_kernel == "vectorized"
         )
+        workers = min(tile_workers, tile_grid.num_tiles)
+        # The temporal carry path is built on the vectorized serial-tile
+        # machinery; other configurations fall back to the cold path and
+        # record why in the telemetry.
+        carry_path = (
+            config.temporal_mode == "carry" and vectorized_path and workers == 1
+        )
+        if carry_path:
+            parallel_telemetry = render_frame_carry(
+                self, camera, image, alpha_img, stats
+            )
+            stats.traffic = stats.traffic.merge(
+                DataLayout.pixel_write_traffic(camera.num_pixels)
+            )
+            return StreamingRenderOutput(
+                image=np.clip(image, 0.0, 1.0),
+                alpha=alpha_img,
+                stats=stats,
+                telemetry={
+                    "streaming_kernel": "vectorized",
+                    "tile_workers": workers,
+                    "tiles": tile_grid.num_tiles,
+                    **parallel_telemetry,
+                    "seconds": time.perf_counter() - started,
+                },
+            )
+
+        preparation = self.prepare_frame(camera)
         render_tile = (
             self._render_tile_vectorized
             if vectorized_path
             else self._render_tile_reference
         )
 
-        workers = min(tile_workers, tile_grid.num_tiles)
         parallel_telemetry: Dict[str, object] = {"tile_mode": "serial"}
         if workers > 1:
             mode = "process" if tile_mode == "auto" else tile_mode
@@ -416,6 +446,16 @@ class StreamingRenderer:
                     camera, tile_id, bounds, preparation, image, alpha_img, stats
                 )
 
+        if config.temporal_mode == "carry":
+            # A requested carry that could not run (reference kernels,
+            # parallel tiles) renders cold; the telemetry records why.
+            parallel_telemetry = {
+                **parallel_telemetry,
+                "temporal_mode": "off",
+                "temporal_fallback": (
+                    "reference-kernel" if not vectorized_path else "tile-workers"
+                ),
+            }
         # Final pixel writes are the only off-chip writes of the pipeline.
         stats.traffic = stats.traffic.merge(
             DataLayout.pixel_write_traffic(camera.num_pixels)

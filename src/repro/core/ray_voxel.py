@@ -9,7 +9,7 @@ traversal plus the ordering-table construction the topological sort consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -189,9 +189,9 @@ def traverse_rays(
     renamed = np.where(
         (raw_flat >= 0) & (grid.renamed_to_raw[lookup] == raw_flat), lookup, -1
     ).reshape(raw_matrix.shape)
-    return [
-        [int(voxel) for voxel in row[row >= 0]] for row in renamed
-    ]
+    # Per-ray int64 arrays (cheaper than Python int lists for the graph
+    # build); callers treat them as front-to-back id sequences either way.
+    return [row[row >= 0] for row in renamed]
 
 
 @dataclass
@@ -201,14 +201,15 @@ class VoxelOrderingTable:
     Attributes
     ----------
     per_ray_orders:
-        One front-to-back renamed-voxel-id list per sampled ray.
+        One front-to-back renamed-voxel-id sequence per sampled ray
+        (int64 arrays from the batched traversal, plain lists accepted).
     rays_sampled:
         Number of rays that were traced.
     unique_voxels:
         Sorted array of all voxels that appear in any ray's order.
     """
 
-    per_ray_orders: List[List[int]]
+    per_ray_orders: List[Sequence[int]]
     rays_sampled: int
 
     @property
@@ -260,7 +261,7 @@ def voxel_ordering_table(
         grid, origins, directions, max_voxels=max_voxels_per_ray
     )
     return VoxelOrderingTable(
-        per_ray_orders=[order for order in orders if order],
+        per_ray_orders=[order for order in orders if len(order)],
         rays_sampled=len(origins),
     )
 
@@ -299,7 +300,7 @@ def ordering_tables_for_tiles(
         tile_orders = orders[offset : offset + len(px)]
         offset += len(px)
         tables[tile_id] = VoxelOrderingTable(
-            per_ray_orders=[order for order in tile_orders if order],
+            per_ray_orders=[order for order in tile_orders if len(order)],
             rays_sampled=len(px),
         )
     return tables

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -45,22 +45,28 @@ def build_dependency_graph(
     Consecutive voxels of each ray contribute one edge; this is the adjacent
     table the VSU builds in hardware (Fig. 10).
     """
-    adjacency: Dict[int, Set[int]] = {}
-    for order in per_ray_orders:
-        for src, dst in zip(order[:-1], order[1:]):
-            if src == dst:
-                continue
-            adjacency.setdefault(src, set()).add(dst)
-            adjacency.setdefault(dst, set())
-        if order:
-            adjacency.setdefault(order[0], set())
-            adjacency.setdefault(order[-1], set())
+    arrays = [
+        np.asarray(order, dtype=np.int64) for order in per_ray_orders if len(order)
+    ]
+    if not arrays:
+        return {}
+    nodes = np.unique(np.concatenate(arrays))
+    adjacency: Dict[int, Set[int]] = {int(node): set() for node in nodes}
+    srcs = np.concatenate([a[:-1] for a in arrays]) if len(arrays) else nodes[:0]
+    if len(srcs):
+        dsts = np.concatenate([a[1:] for a in arrays])
+        keep = srcs != dsts
+        if keep.any():
+            span = int(nodes[-1]) + 1
+            pairs = np.unique(srcs[keep] * span + dsts[keep])
+            for src, dst in zip((pairs // span).tolist(), (pairs % span).tolist()):
+                adjacency[src].add(dst)
     return adjacency
 
 
 def topological_voxel_order(
     per_ray_orders: Sequence[Sequence[int]],
-    voxel_depths: Optional[Dict[int, float]] = None,
+    voxel_depths: Optional[Union[Dict[int, float], np.ndarray]] = None,
 ) -> VoxelOrderResult:
     """Kahn's algorithm over the per-ray dependency graph.
 
@@ -78,36 +84,83 @@ def topological_voxel_order(
     :class:`VoxelOrderResult` whose ``order`` contains every voxel appearing
     in any ray exactly once.
     """
-    adjacency = build_dependency_graph(per_ray_orders)
-    if not adjacency:
+    arrays = [
+        np.asarray(order, dtype=np.int64) for order in per_ray_orders if len(order)
+    ]
+    if not arrays:
         return VoxelOrderResult(order=[], num_nodes=0, num_edges=0, cycles_broken=0)
+    nodes = np.unique(np.concatenate(arrays))
+    srcs = np.concatenate([a[:-1] for a in arrays])
+    span = int(nodes[-1]) + 1
+    if len(srcs):
+        dsts = np.concatenate([a[1:] for a in arrays])
+        keep = srcs != dsts
+        pairs = np.unique(srcs[keep] * span + dsts[keep])
+    else:
+        pairs = srcs
+    num_edges = len(pairs)
 
+    # Priorities are static, so resolve them once; the extra node tie-break
+    # keys make the cycle-victim choice deterministic on values alone.
+    node_list = nodes.tolist()
+    if voxel_depths is None:
+        priorities = nodes.astype(np.float64)
+    elif isinstance(voxel_depths, np.ndarray):
+        # Array form: renamed voxel ids index directly (complete coverage).
+        priorities = voxel_depths[nodes].astype(np.float64)
+    else:
+        priorities = np.array(
+            [
+                float(voxel_depths[node]) if node in voxel_depths else float(node)
+                for node in node_list
+            ]
+        )
+
+    # Fast path: when the (priority, node)-sorted candidate order already
+    # satisfies every dependency edge, Kahn's heap provably pops exactly
+    # that order (the minimal remaining key always has all predecessors
+    # emitted, so it is ready and is the heap minimum) with no cycle
+    # breaks — so the sorted order can be returned without running the
+    # per-node Python loop at all.
+    perm = np.lexsort((nodes, priorities))
+    position = np.empty(span, dtype=np.int64)
+    position[nodes[perm]] = np.arange(len(nodes))
+    if num_edges == 0 or bool(
+        np.all(position[pairs // span] < position[pairs % span])
+    ):
+        return VoxelOrderResult(
+            order=nodes[perm].tolist(),
+            num_nodes=len(nodes),
+            num_edges=num_edges,
+            cycles_broken=0,
+            in_degree_table={node: 0 for node in node_list},
+        )
+
+    adjacency: Dict[int, Set[int]] = {node: set() for node in node_list}
+    for src, dst in zip((pairs // span).tolist(), (pairs % span).tolist()):
+        adjacency[src].add(dst)
     in_degree: Dict[int, int] = {node: 0 for node in adjacency}
-    num_edges = 0
-    for src, dsts in adjacency.items():
-        for dst in dsts:
+    for dsts_set in adjacency.values():
+        for dst in dsts_set:
             in_degree[dst] += 1
-            num_edges += 1
+    priority = dict(zip(node_list, priorities.tolist()))
 
-    def priority(node: int) -> float:
-        if voxel_depths is not None and node in voxel_depths:
-            return float(voxel_depths[node])
-        return float(node)
-
-    ready = [(priority(node), node) for node, deg in in_degree.items() if deg == 0]
+    ready = [(priority[node], node) for node, deg in in_degree.items() if deg == 0]
     heapq.heapify(ready)
     order: List[int] = []
     remaining = set(adjacency)
     cycles_broken = 0
+    heappop = heapq.heappop
+    heappush = heapq.heappush
 
     while remaining:
         if not ready:
             # Cycle: release the shallowest remaining voxel.
-            victim = min(remaining, key=priority)
-            ready = [(priority(victim), victim)]
+            victim = min(remaining, key=lambda n: (priority[n], n))
+            ready = [(priority[victim], victim)]
             in_degree[victim] = 0
             cycles_broken += 1
-        _, node = heapq.heappop(ready)
+        _, node = heappop(ready)
         if node not in remaining:
             continue
         order.append(node)
@@ -116,7 +169,7 @@ def topological_voxel_order(
             if dst in remaining:
                 in_degree[dst] -= 1
                 if in_degree[dst] == 0:
-                    heapq.heappush(ready, (priority(dst), dst))
+                    heappush(ready, (priority[dst], dst))
 
     return VoxelOrderResult(
         order=order,
@@ -148,7 +201,7 @@ def order_violation_count(
 
 def topological_orders_for_tables(
     tables: Dict[int, "object"],
-    voxel_depths: Optional[Dict[int, float]] = None,
+    voxel_depths: Optional[Union[Dict[int, float], np.ndarray]] = None,
 ) -> Dict[int, VoxelOrderResult]:
     """Global voxel orders for many tiles' ordering tables at once.
 
@@ -163,14 +216,15 @@ def topological_orders_for_tables(
     }
 
 
-def voxel_depth_map(grid, camera) -> Dict[int, float]:
-    """Camera-space depth of every voxel centre (topological-sort tie-break).
+def voxel_depth_values(grid, camera) -> np.ndarray:
+    """Camera-space depth of every voxel centre, indexed by renamed id.
 
-    Computed in one vectorised batch over all renamed voxels.
+    Computed in one vectorised batch over all renamed voxels; the array
+    form indexes directly with renamed voxel ids and is what the frame
+    preparation feeds the topological sort.
     """
-    depths: Dict[int, float] = {}
     if grid.num_voxels == 0:
-        return depths
+        return np.zeros(0, dtype=np.float64)
     raw = np.asarray(grid.renamed_to_raw, dtype=np.int64)
     x = raw % grid.dims[0]
     y = (raw // grid.dims[0]) % grid.dims[1]
@@ -178,6 +232,9 @@ def voxel_depth_map(grid, camera) -> Dict[int, float]:
     coords = np.stack([x, y, z], axis=1)
     centers = grid.origin + (coords + 0.5) * grid.voxel_size
     cam = camera.world_to_camera(centers)
-    for voxel_id, depth in enumerate(cam[:, 2]):
-        depths[voxel_id] = float(depth)
-    return depths
+    return cam[:, 2].astype(np.float64)
+
+
+def voxel_depth_map(grid, camera) -> Dict[int, float]:
+    """Camera-space depth of every voxel centre (topological-sort tie-break)."""
+    return dict(enumerate(voxel_depth_values(grid, camera).tolist()))

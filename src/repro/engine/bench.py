@@ -13,6 +13,12 @@ loop against the batched/vectorized fast path
 1e-9 and that every workload statistic — fragments, filter reductions,
 depth-order violation sets — is exactly equal
 (``benchmarks/bench_streaming.py`` → ``BENCH_streaming.json``).
+
+:func:`run_trajectory_benchmark` times a registered camera trajectory
+under the temporal-coherence carry path (``temporal_mode="carry"``)
+against cold per-frame rendering (``"off"``), with the same parity
+contract — images within 1e-9, statistics exactly equal, frame by frame
+(``benchmarks/bench_trajectory.py`` → ``BENCH_trajectory.json``).
 """
 
 from __future__ import annotations
@@ -285,6 +291,149 @@ class StreamingBenchResult:
                     f"{self.pickled_bytes} pickled bytes per dispatch"
                 )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Trajectory (temporal-coherence) benchmark.
+# ----------------------------------------------------------------------
+@dataclass
+class TrajectoryBenchResult:
+    """Timings and parity check of one carry-vs-off trajectory comparison.
+
+    ``seconds`` holds the best full-trajectory wall time of each temporal
+    mode; the *warm ratio* is the amortized carry-path time over the cold
+    path's.  Parity (images within 1e-9, statistics exactly equal, frame
+    by frame) is recorded from a dedicated untimed pass.
+    """
+
+    scene: str
+    path: str
+    frames: int
+    resolution_scale: float
+    repeats: int
+    voxel_size: float = 0.0
+    seconds: Dict[str, float] = field(default_factory=dict)
+    max_image_delta: float = 0.0
+    stats_equal: bool = False
+    stats_detail: str = ""
+    temporal: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def warm_ratio(self) -> float:
+        """Amortized carry-trajectory time over the cold trajectory's."""
+        off = self.seconds.get("off", 0.0)
+        carry = self.seconds.get("carry", 0.0)
+        return carry / off if off else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "scene": self.scene,
+            "path": self.path,
+            "frames": self.frames,
+            "resolution_scale": self.resolution_scale,
+            "repeats": self.repeats,
+            "voxel_size": self.voxel_size,
+            "seconds": dict(self.seconds),
+            "warm_ratio": self.warm_ratio,
+            "max_image_delta": self.max_image_delta,
+            "stats_equal": self.stats_equal,
+            "stats_detail": self.stats_detail,
+            "temporal": dict(self.temporal),
+        }
+
+    def format(self) -> str:
+        lines = [
+            "trajectory temporal-coherence benchmark "
+            f"({self.scene}/{self.path}, {self.frames} frames @ "
+            f"{self.resolution_scale:g}x, voxel {self.voxel_size:g}, "
+            f"{self.repeats} repeat(s))"
+        ]
+        for name in sorted(self.seconds):
+            per_frame = self.seconds[name] / max(1, self.frames)
+            lines.append(
+                f"  temporal_mode={name:<6} {self.seconds[name] * 1e3:9.1f} ms "
+                f"({per_frame * 1e3:7.1f} ms/frame)"
+            )
+        lines.append(
+            f"  warm ratio (carry / off): {self.warm_ratio:.3f}; "
+            f"max |image delta| = {self.max_image_delta:.3g}; "
+            f"stats {'EQUAL' if self.stats_equal else 'DIFFER: ' + self.stats_detail}"
+        )
+        if self.temporal:
+            lines.append(
+                "  carry telemetry: "
+                f"{self.temporal.get('cold_frames', 0)} cold / "
+                f"{self.temporal.get('frames', 0)} frames, "
+                f"hit rate {float(self.temporal.get('coherence_hit_rate', 0.0)):.3f}, "
+                f"orders carried {self.temporal.get('orders_carried', 0)}"
+            )
+        return "\n".join(lines)
+
+
+def run_trajectory_benchmark(
+    scene: str = "train",
+    path: str = "orbit",
+    frames: int = 24,
+    resolution_scale: float = 1.5,
+    repeats: int = 3,
+    config: Optional[StreamingConfig] = None,
+) -> TrajectoryBenchResult:
+    """Time a trajectory under ``temporal_mode="carry"`` against ``"off"``.
+
+    Both paths render the identical camera path on fresh renderers with
+    the frame-preparation cache disabled (it would replay whole frames and
+    hide the comparison).  An untimed first pass checks frame-by-frame
+    parity — images within 1e-9, statistics exactly equal — and warms the
+    carry context's content-keyed caches; the timed passes then measure
+    the amortized steady-state trajectory, interleaving the two modes so
+    machine-load drift biases neither side of the ratio.
+    """
+    from repro.scenes.registry import SCENE_REGISTRY, build_scene, trajectory_cameras
+
+    model = build_scene(scene)
+    base = config or StreamingConfig(
+        voxel_size=SCENE_REGISTRY[scene].default_voxel_size
+    )
+    if base.frame_cache_size:
+        base = base.with_options(frame_cache_size=0)
+    renderers = {
+        mode: StreamingRenderer(model, base.with_options(temporal_mode=mode))
+        for mode in ("off", "carry")
+    }
+    cameras = trajectory_cameras(
+        scene, path, frames, resolution_scale=resolution_scale
+    )
+
+    result = TrajectoryBenchResult(
+        scene=scene,
+        path=path,
+        frames=len(cameras),
+        resolution_scale=resolution_scale,
+        repeats=repeats,
+        voxel_size=base.voxel_size,
+    )
+    result.stats_equal = True
+    for index, camera in enumerate(cameras):
+        off_out = renderers["off"].render(camera)
+        carry_out = renderers["carry"].render(camera)
+        result.max_image_delta = max(
+            result.max_image_delta,
+            float(np.max(np.abs(carry_out.image - off_out.image))),
+        )
+        ok, detail = streaming_stats_equal(off_out.stats, carry_out.stats)
+        if not ok and result.stats_equal:
+            result.stats_equal = False
+            result.stats_detail = f"frame {index}: {detail}"
+    best = {mode: float("inf") for mode in renderers}
+    for _ in range(repeats):
+        for mode, renderer in renderers.items():
+            start = time.perf_counter()
+            for camera in cameras:
+                renderer.render(camera)
+            best[mode] = min(best[mode], time.perf_counter() - start)
+    result.seconds = dict(best)
+    result.temporal = dict(renderers["carry"].temporal.snapshot())
+    return result
 
 
 def run_streaming_benchmark(

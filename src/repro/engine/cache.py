@@ -33,7 +33,9 @@ DEFAULT_FRAME_CACHE_SIZE = 8
 class FramePreparation:
     """Camera-dependent, model-independent state of one prepared frame."""
 
-    depth_map: Dict[int, float]
+    # Per-voxel camera depth, indexed by renamed voxel id (ndarray form
+    # from ``voxel_depth_values``; legacy dict form also accepted).
+    depth_map: object
     tile_tables: Dict[int, "VoxelOrderingTable"]
     tile_orders: Dict[int, "VoxelOrderResult"]
 

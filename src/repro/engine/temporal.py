@@ -1,0 +1,850 @@
+"""Temporal-coherence carry path for trajectory workloads.
+
+Consecutive frames of a camera trajectory see nearly the same scene, so a
+large part of per-frame work repeats verbatim: the per-tile voxel orders
+change slowly, and the candidate sets behind them (which Gaussians live in
+which streamed voxel) do not depend on the pose at all.  The carry path
+(``StreamingConfig.temporal_mode = "carry"``) exploits this under one hard
+rule: **every reuse is exact by construction**.  Nothing is approximated or
+skipped — carried state is only used when its content key proves it equals
+what a cold frame would recompute, so images stay within 1e-9 of
+``temporal_mode="off"`` and :class:`~repro.core.pipeline.StreamingStats`
+stay exactly equal.
+
+Three mechanisms, in decreasing order of certainty:
+
+* **candidate-gather carry** — the per-tile concatenation of each streamed
+  voxel's Gaussian ids depends only on the (static) voxel grid and the
+  tile's voxel order; a cache keyed by the order's bytes replays it without
+  touching the CSR lists.  ``carried_voxels`` / ``revalidated`` /
+  ``coherence_hit_rate`` in the frame telemetry report the hit rate.
+* **topological-order carry** — Kahn's algorithm over the per-ray DAG is
+  driven entirely by the adjacency (a function of the per-ray voxel orders)
+  and the *rank order* of the ``(depth priority, node)`` keys, never their
+  values — every heap comparison and the value-deterministic cycle-victim
+  choice reduce to that total order.  When a tile's per-ray orders repeat
+  and the key ranks are an exact permutation match, the cached
+  :class:`VoxelOrderResult` is the one Kahn would recompute, heap step for
+  heap step.
+* **frame-restructured execution** — instead of filtering and blending
+  tile by tile, the carry renderer projects the whole frame's coarse
+  candidates once, fine-projects the union of every tile's coarse
+  survivors once, and blends all tiles' pixel columns through one
+  cross-tile chunk loop.  The blend recurrence is invariant to how the
+  stream is chunked (non-contributing factors are exactly 1.0, so the
+  sequential transmittance product, the contribution gates, the saturation
+  positions and every integer counter are bit-identical under any
+  partition); only the floating-point *accumulation* order of colours and
+  per-Gaussian weights differs, which the 1e-9 tolerances cover — the same
+  contract the off path's thread-parallel tile merge already relies on.
+
+Teleports (pose jumps beyond :data:`TELEPORT_ROTATION_DEG` /
+:data:`TELEPORT_TRANSLATION_FRACTION` of the scene diagonal) reset the
+carried state and render a cold frame; the telemetry records it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hierarchical_filter import (
+    COARSE_FILTER_MACS,
+    FINE_FILTER_MACS,
+    FilterStats,
+    _overlaps_tile,
+)
+from repro.core.ray_voxel import VoxelOrderingTable, ordering_tables_for_tiles
+from repro.core.voxel_order import (
+    VoxelOrderResult,
+    topological_voxel_order,
+    voxel_depth_values,
+)
+from repro.engine.cache import FramePreparation, frame_key
+from repro.engine.kernels import (
+    ALPHA_EPSILON,
+    ALPHA_MAX,
+    DEPTH_VIOLATION_EPSILON,
+    TRANSMITTANCE_EPSILON,
+)
+from repro.gaussians.camera import Camera, pose_delta
+from repro.gaussians.projection import coarse_project_centers, project_gaussians
+from repro.gaussians.tiles import TileGrid
+
+#: Gaussians per broadcast chunk of the cross-tile carry blend.
+#: Chunk-partition invariance of the blend recurrence makes the size a pure
+#: performance knob: smaller chunks bound the padding waste of tiles whose
+#: streams end mid-chunk and refresh the active-column compaction more
+#: often, at the price of more chunk iterations.
+CARRY_CHUNK = 32
+
+#: Element budget (chunk rows x active columns) used to grow chunks as
+#: pixel columns saturate and drop out of the active set.
+CARRY_CHUNK_ELEMS = CARRY_CHUNK * 2048
+
+#: Pixel columns per blend block.  The cross-tile blend walks whole tiles
+#: grouped into blocks of at most this many columns, so every chunk
+#: temporary stays ~``CARRY_CHUNK_ELEMS`` elements (cache-resident) even on
+#: full-resolution frames; per-column independence of the blend recurrence
+#: makes the column partition, like the chunk partition, a pure
+#: performance knob.
+CARRY_COL_BLOCK = 4096
+
+#: Rotation (degrees) beyond which a pose jump counts as a teleport.
+TELEPORT_ROTATION_DEG = 15.0
+
+#: Translation, as a fraction of the scene diagonal, beyond which a pose
+#: jump counts as a teleport.
+TELEPORT_TRANSLATION_FRACTION = 0.10
+
+#: Entries kept in the content-keyed candidate-gather cache.
+GATHER_CACHE_CAPACITY = 4096
+
+#: Entries kept in the topological-order carry cache.
+ORDER_CACHE_CAPACITY = 1024
+
+
+class TemporalContext:
+    """Carried state and content-keyed caches of one renderer's trajectory.
+
+    Thread-safe (renderers are shared across the service daemon's worker
+    actors); picklable (renderers travel inside broadcast scene contexts) —
+    the lock is rebuilt on unpickling, the carried caches travel along.
+    """
+
+    def __init__(
+        self,
+        gather_capacity: int = GATHER_CACHE_CAPACITY,
+        order_capacity: int = ORDER_CACHE_CAPACITY,
+    ) -> None:
+        self.gather_capacity = gather_capacity
+        self.order_capacity = order_capacity
+        self._gather: "OrderedDict[bytes, Tuple[np.ndarray, np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._orders: "OrderedDict[tuple, VoxelOrderResult]" = OrderedDict()
+        self._last_camera: Optional[Camera] = None
+        self.frames = 0
+        self.cold_frames = 0
+        self.teleports = 0
+        self.carried_voxels = 0
+        self.revalidated_voxels = 0
+        self.orders_carried = 0
+        self.orders_computed = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every carried entry (counters are kept)."""
+        with self._lock:
+            self._gather.clear()
+            self._orders.clear()
+
+    def observe(self, camera: Camera, scene_diagonal: float) -> bool:
+        """Record a new frame's pose; True when the frame must run cold.
+
+        The first frame of a trajectory and any teleport (pose delta beyond
+        the thresholds) are cold: carried state is dropped so the frame
+        reuses nothing.  The caches are content-keyed, so this is a policy
+        decision (bound staleness, make the fallback observable), not a
+        correctness requirement.
+        """
+        with self._lock:
+            self.frames += 1
+            previous = self._last_camera
+            self._last_camera = camera
+        if previous is None:
+            self.cold_frames += 1
+            return True
+        rotation_deg, translation = pose_delta(previous, camera)
+        if (
+            rotation_deg > TELEPORT_ROTATION_DEG
+            or translation > TELEPORT_TRANSLATION_FRACTION * scene_diagonal
+        ):
+            self.reset()
+            self.cold_frames += 1
+            self.teleports += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def gather_candidates(
+        self, grid, order: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Per-voxel counts, concatenated candidates and segment ids of a tile.
+
+        Content-keyed by the voxel order itself: the gather depends only on
+        the static CSR grid, so a cache hit replays exactly what the off
+        path's per-voxel ``gaussians_in_voxel`` loop would concatenate.
+        """
+        key = order.tobytes()
+        with self._lock:
+            entry = self._gather.get(key)
+            if entry is not None:
+                self._gather.move_to_end(key)
+                self.carried_voxels += len(order)
+                return entry + (True,)
+        counts = grid.voxel_counts[order].astype(np.int64)
+        starts = grid.voxel_starts[order]
+        total = int(counts.sum())
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        flat = np.repeat(starts, counts) + np.arange(total, dtype=np.int64) - offsets
+        candidates = grid.gaussian_order[flat].astype(np.int64)
+        segments = np.repeat(np.arange(len(order), dtype=np.int64), counts)
+        entry = (counts, candidates, segments)
+        with self._lock:
+            self.revalidated_voxels += len(order)
+            self._gather[key] = entry
+            self._gather.move_to_end(key)
+            while len(self._gather) > self.gather_capacity:
+                self._gather.popitem(last=False)
+        return entry + (False,)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _order_key(
+        table: VoxelOrderingTable, depth_values: np.ndarray
+    ) -> Optional[tuple]:
+        """Content key of one tile's topological sort.
+
+        Kahn's execution over a fixed adjacency is determined by the strict
+        total order on ``(priority(node), node)`` — every heap comparison
+        and the (value-deterministic) cycle-victim choice reduce to it — so
+        the key is the per-ray orders plus the rank permutation of the
+        involved nodes under that order.  Two frames with the same key have
+        order-isomorphic priority assignments and produce the identical
+        global voxel order.
+        """
+        arrays = [np.asarray(order, dtype=np.int64) for order in table.per_ray_orders]
+        orders_key = tuple(order.tobytes() for order in arrays)
+        nodes = np.unique(np.concatenate(arrays))
+        ranked = np.lexsort((nodes, depth_values[nodes]))
+        return (orders_key, ranked.tobytes())
+
+    def topological_order(
+        self, table: VoxelOrderingTable, depth_values: np.ndarray
+    ) -> Tuple[VoxelOrderResult, bool]:
+        """The tile's global voxel order, carried when its content key repeats."""
+        key = self._order_key(table, depth_values) if table.per_ray_orders else None
+        if key is not None:
+            with self._lock:
+                cached = self._orders.get(key)
+                if cached is not None:
+                    self._orders.move_to_end(key)
+                    self.orders_carried += 1
+                    return cached, True
+        result = topological_voxel_order(
+            table.per_ray_orders, voxel_depths=depth_values
+        )
+        with self._lock:
+            self.orders_computed += 1
+            if key is not None:
+                self._orders[key] = result
+                self._orders.move_to_end(key)
+                while len(self._orders) > self.order_capacity:
+                    self._orders.popitem(last=False)
+        return result, False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Lifetime counters (exported through the render service's stats)."""
+        with self._lock:
+            reused = self.carried_voxels
+            total = reused + self.revalidated_voxels
+            return {
+                "frames": self.frames,
+                "cold_frames": self.cold_frames,
+                "teleports": self.teleports,
+                "carried_voxels": reused,
+                "revalidated_voxels": self.revalidated_voxels,
+                "coherence_hit_rate": reused / total if total else 0.0,
+                "orders_carried": self.orders_carried,
+                "orders_computed": self.orders_computed,
+            }
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class _TileWork:
+    """Per-tile intermediate state of one carry frame."""
+
+    tile_id: int
+    bounds: Tuple[int, int, int, int]
+    order: np.ndarray          # (V,) streamed voxel ids
+    counts: np.ndarray         # (V,) Gaussians per voxel
+    candidates: np.ndarray     # (C,) concatenated candidate model ids
+    segments: np.ndarray       # (C,) voxel position per candidate
+    col_start: int = 0         # first pixel column in the stacked frame
+    num_pixels: int = 0
+    coarse_tested: np.ndarray = field(default=None)
+    coarse_passed: np.ndarray = field(default=None)
+    fine_candidates: np.ndarray = field(default=None)
+    fine_segments: np.ndarray = field(default=None)
+    fine_tested: np.ndarray = field(default=None)
+    fine_passed: np.ndarray = field(default=None)
+    stream_rows: np.ndarray = field(default=None)   # rows into the union projection
+    stream_model: np.ndarray = field(default=None)  # model ids, blend order
+
+    @property
+    def stream_len(self) -> int:
+        return len(self.stream_rows)
+
+
+def prepare_frame_carry(renderer, ctx: TemporalContext, camera: Camera):
+    """Frame preparation with topological-order carry.
+
+    Identical to :meth:`StreamingRenderer.prepare_frame` (same frame-cache
+    key, same traversal, same depth map) except that each tile's
+    topological sort goes through the context's content-keyed carry.
+    Returns ``(preparation, info)`` where ``info`` reports the reuse.
+    """
+    config = renderer.config
+    key = frame_key(
+        camera,
+        tile_size=config.tile_size,
+        ray_stride=config.ray_stride,
+        max_voxels_per_ray=config.max_voxels_per_ray,
+    )
+    cached = renderer.frame_cache.get(key)
+    if cached is not None:
+        return cached, {"frame_prepared": "cache"}
+    tile_grid = TileGrid(camera.width, camera.height, config.tile_size)
+    depth_map = voxel_depth_values(renderer.grid, camera)
+    tile_bounds = {
+        tile_id: tile_grid.tile_pixel_bounds(tile_id)
+        for tile_id in range(tile_grid.num_tiles)
+    }
+    tables = ordering_tables_for_tiles(
+        renderer.grid,
+        camera,
+        tile_bounds,
+        ray_stride=config.ray_stride,
+        max_voxels_per_ray=config.max_voxels_per_ray,
+    )
+    orders: Dict[int, VoxelOrderResult] = {}
+    carried = computed = 0
+    for tile_id, table in tables.items():
+        result, hit = ctx.topological_order(table, depth_map)
+        orders[tile_id] = result
+        if hit:
+            carried += 1
+        else:
+            computed += 1
+    preparation = FramePreparation(
+        depth_map=depth_map, tile_tables=tables, tile_orders=orders
+    )
+    renderer.frame_cache.put(key, preparation)
+    return preparation, {
+        "frame_prepared": "carry",
+        "orders_carried": carried,
+        "orders_computed": computed,
+    }
+
+
+def _prefix_filter_stats(tile: _TileWork, num_voxels: int) -> FilterStats:
+    """Accumulated filter stats of a tile's first ``num_voxels`` voxels.
+
+    Field for field the formulas of
+    :meth:`repro.core.hierarchical_filter.BatchedFilterResult.prefix_stats`.
+    """
+    k = num_voxels
+    coarse_tested = int(tile.coarse_tested[:k].sum())
+    fine_tested = int(tile.fine_tested[:k].sum())
+    return FilterStats(
+        gaussians_in=int(tile.counts[:k].sum()),
+        coarse_tested=coarse_tested,
+        coarse_passed=int(tile.coarse_passed[:k].sum()),
+        fine_tested=fine_tested,
+        fine_passed=int(tile.fine_passed[:k].sum()),
+        coarse_macs=COARSE_FILTER_MACS * coarse_tested,
+        fine_macs=FINE_FILTER_MACS * fine_tested,
+    )
+
+
+def render_frame_carry(
+    renderer,
+    camera: Camera,
+    image: np.ndarray,
+    alpha_img: np.ndarray,
+    stats,
+) -> Dict[str, object]:
+    """Render one frame through the temporal-coherence carry path.
+
+    Produces the image within 1e-9 and the statistics exactly equal to the
+    off path's serial vectorized render; returns the telemetry dict
+    (including the ``carried_voxels`` / ``revalidated`` /
+    ``coherence_hit_rate`` counters of this frame).
+    """
+    ctx = renderer.temporal
+    config = renderer.config
+    grid = renderer.grid
+    model = renderer.render_model
+    background = renderer.background
+    use_coarse = config.use_coarse_filter
+
+    scene_diagonal = float(np.linalg.norm(grid.dims * grid.voxel_size))
+    cold_frame = ctx.observe(camera, scene_diagonal)
+    preparation, prep_info = prepare_frame_carry(renderer, ctx, camera)
+    tile_grid = TileGrid(camera.width, camera.height, config.tile_size)
+
+    # --- Phase 1: header accounting + carried candidate gathers ----------
+    tiles: List[_TileWork] = []
+    carried = revalidated = 0
+    for tile_id in range(tile_grid.num_tiles):
+        bounds = tile_grid.tile_pixel_bounds(tile_id)
+        order = renderer._tile_header_stats(tile_id, bounds, preparation, image, stats)
+        if order is None:
+            continue
+        order = np.asarray(order, dtype=np.int64)
+        counts, candidates, segments, hit = ctx.gather_candidates(grid, order)
+        if hit:
+            carried += len(order)
+        else:
+            revalidated += len(order)
+        tiles.append(
+            _TileWork(
+                tile_id=tile_id,
+                bounds=bounds,
+                order=order,
+                counts=counts,
+                candidates=candidates,
+                segments=segments,
+            )
+        )
+
+    # --- Phase 2: whole-frame coarse filter, union fine projection -------
+    # One coarse projection over the full model replaces every tile's
+    # per-candidate call; the AABB tests gather its rows.  Both projections
+    # are row-independent, so the gathered rows match the off path's
+    # per-tile batches (the same property the batched tile filter already
+    # relies on against the serial per-voxel loop).
+    if use_coarse and tiles:
+        coarse_means, coarse_depths, coarse_radii = coarse_project_centers(
+            model.positions, model.max_scales, camera
+        )
+    for tile in tiles:
+        num_voxels = len(tile.order)
+        if use_coarse and len(tile.candidates):
+            rows = tile.candidates
+            passed = _overlaps_tile(
+                coarse_means[rows],
+                coarse_radii[rows],
+                coarse_depths[rows],
+                tile.bounds,
+                camera.near,
+            )
+            tile.coarse_tested = tile.counts.copy()
+            tile.coarse_passed = np.bincount(
+                tile.segments[passed], minlength=num_voxels
+            ).astype(np.int64)
+            tile.fine_candidates = tile.candidates[passed]
+            tile.fine_segments = tile.segments[passed]
+        elif use_coarse:
+            tile.coarse_tested = tile.counts.copy()
+            tile.coarse_passed = np.zeros(num_voxels, dtype=np.int64)
+            tile.fine_candidates = tile.candidates
+            tile.fine_segments = tile.segments
+        else:
+            tile.coarse_tested = np.zeros(num_voxels, dtype=np.int64)
+            tile.coarse_passed = np.zeros(num_voxels, dtype=np.int64)
+            tile.fine_candidates = tile.candidates
+            tile.fine_segments = tile.segments
+        tile.fine_tested = np.bincount(
+            tile.fine_segments, minlength=num_voxels
+        ).astype(np.int64)
+
+    if tiles:
+        union = np.unique(
+            np.concatenate([tile.fine_candidates for tile in tiles])
+        ).astype(np.int64)
+    else:
+        union = np.zeros(0, dtype=np.int64)
+    projected = project_gaussians(
+        model, camera, sh_degree=config.sh_degree, indices=union
+    )
+
+    for tile in tiles:
+        num_voxels = len(tile.order)
+        rows = np.searchsorted(union, tile.fine_candidates)
+        fine_pass = projected.valid[rows] & _overlaps_tile(
+            projected.means2d[rows],
+            projected.radii[rows],
+            projected.depths[rows],
+            tile.bounds,
+            camera.near,
+        )
+        tile.fine_passed = np.bincount(
+            tile.fine_segments[fine_pass], minlength=num_voxels
+        ).astype(np.int64)
+        survivor_rows = rows[fine_pass]
+        segment_ids = tile.fine_segments[fine_pass]
+        # Segment-wise stable depth sort — the same lexsort as the off path.
+        stream_order = np.lexsort((projected.depths[survivor_rows], segment_ids))
+        tile.stream_rows = survivor_rows[stream_order]
+        tile.stream_model = tile.fine_candidates[fine_pass][stream_order]
+
+    # --- Phase 3: cross-tile chunked blend -------------------------------
+    frag, viol, transmittance, color, saturation = _blend_cross_tile(
+        tiles, projected, camera, stats
+    )
+
+    # --- Phase 4: per-tile early-termination prefix + accounting ---------
+    for slot, tile in enumerate(tiles):
+        x0, y0, x1, y1 = tile.bounds
+        cols = slice(tile.col_start, tile.col_start + tile.num_pixels)
+        tile_saturation = saturation[cols]
+        total = tile.stream_len
+        if total and int(tile_saturation.max()) < total:
+            segment_ends = np.cumsum(tile.fine_passed)
+            processed = (
+                int(
+                    np.searchsorted(
+                        segment_ends, int(tile_saturation.max()), side="right"
+                    )
+                )
+                + 1
+            )
+        else:
+            processed = len(tile.order)
+
+        stats.num_tile_voxel_pairs += processed
+        stats.gaussians_streamed += int(tile.counts[:processed].sum())
+        stats.filter = stats.filter.merge(_prefix_filter_stats(tile, processed))
+        coarse_passed = tile.coarse_passed if use_coarse else tile.counts
+        stats.traffic = stats.traffic.merge(
+            renderer.layout.voxel_stream_traffic_batch(
+                tile.order[:processed], coarse_passed[:processed]
+            )
+        )
+        survivors = tile.fine_passed[:processed]
+        survivors = survivors[survivors > 0]
+        stats.sorted_gaussians += int(survivors.sum())
+        stats.sort_list_lengths.extend(int(n) for n in survivors)
+        if len(survivors):
+            stats.max_voxel_list_length = max(
+                stats.max_voxel_list_length, int(survivors.max())
+            )
+        stats.rendered_gaussian_slots += int(survivors.sum())
+        stats.blended_fragments += int(frag[slot])
+        stats.depth_order_errors += int(viol[slot])
+        stats.blended_fragment_slots += int(frag[slot])
+
+        tile_t = transmittance[cols]
+        final = color[cols] + tile_t[:, None] * background[None, :]
+        h, w = y1 - y0, x1 - x0
+        image[y0:y1, x0:x1] = final.reshape(h, w, 3)
+        alpha_img[y0:y1, x0:x1] = (1.0 - tile_t).reshape(h, w)
+
+    reused_total = carried + revalidated
+    return {
+        "tile_mode": "serial",
+        "temporal_mode": "carry",
+        "cold_frame": cold_frame,
+        "carried_voxels": carried,
+        "revalidated": revalidated,
+        "coherence_hit_rate": carried / reused_total if reused_total else 0.0,
+        **prep_info,
+    }
+
+
+def _blend_cross_tile(
+    tiles: List[_TileWork],
+    projected,
+    camera: Camera,
+    stats,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Blend every tile's voxel stream through one cross-tile chunk loop.
+
+    Mirrors the arithmetic of the per-tile broadcast kernel
+    (:func:`repro.engine.kernels._blend_batched`) line for line on stacked
+    pixel columns; per-column values (transmittance chain, contribution
+    gates, saturation positions, fragment/violation counts) are
+    bit-identical to the per-tile chunking because the recurrence is
+    invariant to chunk partitioning.  Returns per-tile fragment and
+    violation counts plus the per-column transmittance, colour and
+    saturation position arrays.
+    """
+    num_tiles = len(tiles)
+    frag = np.zeros(num_tiles, dtype=np.int64)
+    viol = np.zeros(num_tiles, dtype=np.int64)
+
+    # Stack every tile's pixel columns (meshgrid order, as the off path).
+    px_parts: List[np.ndarray] = []
+    py_parts: List[np.ndarray] = []
+    col_tile_parts: List[np.ndarray] = []
+    offset = 0
+    for slot, tile in enumerate(tiles):
+        x0, y0, x1, y1 = tile.bounds
+        xs, ys = np.meshgrid(np.arange(x0, x1), np.arange(y0, y1))
+        xs = xs.reshape(-1)
+        ys = ys.reshape(-1)
+        tile.col_start = offset
+        tile.num_pixels = len(xs)
+        offset += len(xs)
+        px_parts.append(xs.astype(np.float64) + 0.5)
+        py_parts.append(ys.astype(np.float64) + 0.5)
+        col_tile_parts.append(np.full(len(xs), slot, dtype=np.int64))
+    if not tiles:
+        empty = np.zeros(0, dtype=np.float64)
+        return frag, viol, empty, np.zeros((0, 3)), np.zeros(0, dtype=np.int64)
+    px = np.concatenate(px_parts)
+    py = np.concatenate(py_parts)
+    col_tile = np.concatenate(col_tile_parts)
+    num_columns = len(px)
+
+    transmittance = np.ones(num_columns, dtype=np.float64)
+    color = np.zeros((num_columns, 3), dtype=np.float64)
+    max_depth = np.full(num_columns, -np.inf, dtype=np.float64)
+    stream_lens = np.array([tile.stream_len for tile in tiles], dtype=np.int64)
+    saturation = stream_lens[col_tile].copy()
+
+    # Padded projection rows: one sentinel row whose zero opacity, conic and
+    # mean make it an exact no-op (alpha 0, blending factor exactly 1.0).
+    # The per-parameter 1-D copies make the chunk gathers contiguous takes.
+    sentinel = len(projected.means2d)
+    pad_mean_x = np.append(projected.means2d[:, 0], 0.0)
+    pad_mean_y = np.append(projected.means2d[:, 1], 0.0)
+    pad_conic_a = np.append(projected.conics[:, 0], 0.0)
+    pad_conic_b = np.append(projected.conics[:, 1], 0.0)
+    pad_conic_c = np.append(projected.conics[:, 2], 0.0)
+    pad_colors3 = np.vstack([projected.colors, np.zeros((1, 3))])
+    pad_opacities = np.append(projected.opacities, 0.0)
+    pad_depths = np.append(projected.depths.astype(np.float64), 0.0)
+
+    # Whole-frame padded stream matrices: column j holds tile j's stream
+    # rows / model ids, sentinel- and zero-padded past the stream end.
+    # Row-major chunk layout (chunk rows x active columns) keeps every
+    # accumulate/cumprod step one contiguous vectorized row operation.
+    max_len = int(stream_lens.max()) if num_tiles else 0
+    stream_matrix = np.full((max_len, num_tiles), sentinel, dtype=np.int64)
+    model_matrix = np.zeros((max_len, num_tiles), dtype=np.int64)
+    for j, tile in enumerate(tiles):
+        stream_matrix[: tile.stream_len, j] = tile.stream_rows
+        model_matrix[: tile.stream_len, j] = tile.stream_model
+
+    weights = stats.gaussian_blend_weight
+    violation_weights = stats.gaussian_violation_weight
+
+    # Walk whole tiles in column blocks of ~CARRY_COL_BLOCK pixels: each
+    # block's chunk temporaries stay cache-resident (the off path gets the
+    # same locality from per-tile blending), and per-column independence of
+    # the recurrence keeps every output bit-identical to one global walk.
+    blocks: List[Tuple[int, int]] = []
+    block_lo = 0
+    for slot, tile in enumerate(tiles):
+        block_hi_cols = tile.col_start + tile.num_pixels
+        if (
+            slot > block_lo
+            and block_hi_cols - tiles[block_lo].col_start > CARRY_COL_BLOCK
+        ):
+            blocks.append((block_lo, slot))
+            block_lo = slot
+    blocks.append((block_lo, num_tiles))
+
+    for slot_lo, slot_hi in blocks:
+        col_lo = tiles[slot_lo].col_start
+        col_hi = tiles[slot_hi - 1].col_start + tiles[slot_hi - 1].num_pixels
+        block_max_len = int(stream_lens[slot_lo:slot_hi].max())
+        _blend_column_block(
+            tiles,
+            col_lo,
+            col_hi,
+            block_max_len,
+            px,
+            py,
+            col_tile,
+            num_tiles,
+            transmittance,
+            color,
+            max_depth,
+            stream_lens,
+            saturation,
+            stream_matrix,
+            model_matrix,
+            pad_mean_x,
+            pad_mean_y,
+            pad_conic_a,
+            pad_conic_b,
+            pad_conic_c,
+            pad_colors3,
+            pad_opacities,
+            pad_depths,
+            weights,
+            violation_weights,
+            frag,
+            viol,
+        )
+
+    return frag, viol, transmittance, color, saturation
+
+
+def _blend_column_block(
+    tiles: List[_TileWork],
+    col_lo: int,
+    col_hi: int,
+    max_len: int,
+    px: np.ndarray,
+    py: np.ndarray,
+    col_tile: np.ndarray,
+    num_tiles: int,
+    transmittance: np.ndarray,
+    color: np.ndarray,
+    max_depth: np.ndarray,
+    stream_lens: np.ndarray,
+    saturation: np.ndarray,
+    stream_matrix: np.ndarray,
+    model_matrix: np.ndarray,
+    pad_mean_x: np.ndarray,
+    pad_mean_y: np.ndarray,
+    pad_conic_a: np.ndarray,
+    pad_conic_b: np.ndarray,
+    pad_conic_c: np.ndarray,
+    pad_colors3: np.ndarray,
+    pad_opacities: np.ndarray,
+    pad_depths: np.ndarray,
+    weights,
+    violation_weights,
+    frag: np.ndarray,
+    viol: np.ndarray,
+) -> None:
+    """Run the chunked blend over one contiguous block of pixel columns."""
+    block_cols = col_tile[col_lo:col_hi]
+    start = 0
+    while start < max_len:
+        participating = stream_lens > start
+        active = col_lo + np.flatnonzero(
+            (transmittance[col_lo:col_hi] > TRANSMITTANCE_EPSILON)
+            & participating[block_cols]
+        )
+        if len(active) == 0:
+            break
+        # col_tile is ascending, so the active columns of one tile are
+        # contiguous — segment reductions (reduceat) recover per-tile sums.
+        col_active = col_tile[active]
+        present = np.unique(col_active)
+        runs = np.bincount(col_active, minlength=num_tiles)[present]
+        boundaries = np.concatenate(([0], np.cumsum(runs[:-1])))
+        # Chunk-partition invariance makes the boundary placement a pure
+        # performance choice: chunks grow as columns saturate (amortising
+        # the per-chunk call overhead over the long-stream tail) and the
+        # last chunk shrinks to the longest remaining stream so finished
+        # tiles do not pay for sentinel rows.
+        rows_k = max(CARRY_CHUNK, CARRY_CHUNK_ELEMS // max(len(active), 1))
+        rows_k = int(min(rows_k, stream_lens[present].max() - start))
+        stop = start + rows_k
+
+        # Every pixel column of a tile shares the tile's stream, so the
+        # per-Gaussian parameters vary per (chunk row, tile) only: gather
+        # them once per present tile (a small random gather) and expand to
+        # columns with a sequential ``take`` — identical values, but the
+        # expensive scattered reads shrink by the tile occupancy factor.
+        tile_chunk = stream_matrix[start:stop].take(present, axis=1)
+        col_pos = np.repeat(np.arange(len(present)), runs)
+        mean_x = pad_mean_x.take(tile_chunk).take(col_pos, axis=1)
+        mean_y = pad_mean_y.take(tile_chunk).take(col_pos, axis=1)
+        opacities = pad_opacities.take(tile_chunk).take(col_pos, axis=1)
+        depths = pad_depths.take(tile_chunk).take(col_pos, axis=1)
+
+        apx = px[active]
+        apy = py[active]
+        transmittance_in = transmittance[active]
+
+        dx = apx[None, :] - mean_x
+        dy = apy[None, :] - mean_y
+        power = pad_conic_a.take(tile_chunk).take(col_pos, axis=1)
+        power *= dx * dx
+        power += pad_conic_c.take(tile_chunk).take(col_pos, axis=1) * (dy * dy)
+        power *= -0.5
+        dx *= dy
+        dx *= pad_conic_b.take(tile_chunk).take(col_pos, axis=1)
+        power -= dx
+
+        positive = power > 0.0
+        np.minimum(power, 0.0, out=power)
+        a = np.exp(power, out=power)
+        a *= opacities
+        np.minimum(a, ALPHA_MAX, out=a)
+        positive |= a <= ALPHA_EPSILON
+        np.copyto(a, 0.0, where=positive)
+
+        factors = 1.0 - a
+        factors[0] *= transmittance_in
+        running = np.empty((rows_k + 1, len(active)), dtype=np.float64)
+        running[0] = transmittance_in
+        np.cumprod(factors, axis=0, out=running[1:])
+        contributes = (a > 0.0) & (running[:-1] > TRANSMITTANCE_EPSILON)
+        weight = np.where(contributes, a * running[:-1], 0.0)
+
+        # Colour accumulation as one small matmul per present tile: the
+        # colour block varies per (chunk row, tile) only, so the per-column
+        # weighted sum is (columns x rows) @ (rows x 3).  Reassociating the
+        # sum is covered by the image tolerance, like the tile merges.
+        ends = np.cumsum(runs)
+        for i in range(len(present)):
+            cs, ce = boundaries[i], ends[i]
+            block = pad_colors3[tile_chunk[:, i]]
+            color[active[cs:ce]] += weight[:, cs:ce].T @ block
+
+        counts_col = np.count_nonzero(contributes, axis=0)
+        frag[present] += np.add.reduceat(counts_col, boundaries)
+
+        prior_max = np.empty((rows_k + 1, len(active)), dtype=np.float64)
+        prior_max[0] = max_depth[active]
+        prior_max[1:] = np.where(contributes, depths, -np.inf)
+        np.maximum.accumulate(prior_max, axis=0, out=prior_max)
+        violated = contributes & (
+            prior_max[:-1] > depths + DEPTH_VIOLATION_EPSILON
+        )
+        max_depth[active] = prior_max[-1]
+
+        # Per-(chunk row, tile) weight sums scattered into the frame-level
+        # per-Gaussian attribution arrays (pad rows carry exactly 0.0 into
+        # model id 0, a no-op).
+        model_chunk = model_matrix[start:stop].take(present, axis=1)
+        np.add.at(weights, model_chunk, np.add.reduceat(weight, boundaries, axis=1))
+        if violated.any():
+            viol[present] += np.add.reduceat(
+                np.count_nonzero(violated, axis=0), boundaries
+            )
+            np.add.at(
+                violation_weights,
+                model_chunk,
+                np.add.reduceat(np.where(violated, weight, 0.0), boundaries, axis=1),
+            )
+
+        # The running product is non-increasing (factors are in [0, 1]), so
+        # a column saturated somewhere in the chunk iff its final value is
+        # below the epsilon; only those columns pay for the first-row scan.
+        sat_cols = running[-1] <= TRANSMITTANCE_EPSILON
+        if sat_cols.any():
+            sat_idx = np.flatnonzero(sat_cols)
+            first_row = np.argmax(
+                running[1:, sat_idx] <= TRANSMITTANCE_EPSILON, axis=0
+            )
+            saturation[active[sat_idx]] = start + first_row
+
+        # Post-chunk transmittance: the running value after the column's
+        # last contributing row (monotonicity makes it the minimum the
+        # off-path kernel takes over contributing rows); columns with no
+        # contribution keep their incoming value.
+        has_contrib = counts_col > 0
+        last_row = rows_k - 1 - np.argmax(contributes[::-1], axis=0)
+        transmittance[active] = np.where(
+            has_contrib,
+            running[last_row + 1, np.arange(len(active))],
+            transmittance_in,
+        )
+        start = stop

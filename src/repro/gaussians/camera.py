@@ -231,17 +231,30 @@ def orbit_trajectory(
     height: int,
     fov_deg: float = 60.0,
     elevation_deg: float = 25.0,
+    arc_deg: float = 360.0,
 ) -> List[Camera]:
-    """Cameras on a circular orbit around ``center``.
+    """Cameras on a circular orbit (or arc) around ``center``.
 
     This is the trajectory used to generate held-out test views of the
-    procedural scenes (stand-in for the datasets' test splits).
+    procedural scenes (stand-in for the datasets' test splits).  With the
+    default full-circle arc the views are spread over the whole orbit; a
+    smaller ``arc_deg`` produces the closely spaced poses of a smooth
+    camera pan, the bread-and-butter workload of the temporal-coherence
+    fast path.
     """
     center = np.asarray(center, dtype=np.float64)
     elevation = np.deg2rad(elevation_deg)
+    full_circle = abs(arc_deg - 360.0) < 1e-9
     cameras = []
     for i in range(num_views):
-        azimuth = 2.0 * np.pi * i / max(num_views, 1)
+        # A full circle must not duplicate the closing pose; an open arc
+        # should include both endpoints.  The full-circle expression is
+        # kept bit-identical to the historical one (pose keys feed caches
+        # and golden statistics).
+        if full_circle or num_views <= 1:
+            azimuth = 2.0 * np.pi * i / max(num_views, 1)
+        else:
+            azimuth = np.deg2rad(arc_deg) * i / (num_views - 1)
         eye = center + radius * np.array(
             [
                 np.cos(azimuth) * np.cos(elevation),
@@ -259,3 +272,102 @@ def orbit_trajectory(
             )
         )
     return cameras
+
+
+def walkthrough_trajectory(
+    start,
+    end,
+    num_views: int,
+    width: int,
+    height: int,
+    fov_deg: float = 60.0,
+    look_ahead: float = 1.0,
+) -> List[Camera]:
+    """Cameras walking a straight line, looking along the direction of travel.
+
+    A stand-in for the hand-held walkthrough captures of the real-world
+    datasets: the eye moves from ``start`` to ``end`` and each view looks
+    ``look_ahead`` times the remaining path length past the current
+    position, so consecutive poses differ by a small translation and an
+    even smaller rotation.
+    """
+    start = np.asarray(start, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    direction = end - start
+    if np.linalg.norm(direction) < 1e-12:
+        raise ValueError("walkthrough start and end coincide")
+    cameras = []
+    for i in range(num_views):
+        t = i / max(num_views - 1, 1)
+        eye = start + t * direction
+        target = eye + look_ahead * direction
+        cameras.append(
+            Camera.from_lookat(
+                eye=eye, target=target, width=width, height=height, fov_deg=fov_deg
+            )
+        )
+    return cameras
+
+
+def dolly_trajectory(
+    center,
+    start_radius: float,
+    end_radius: float,
+    num_views: int,
+    width: int,
+    height: int,
+    fov_deg: float = 60.0,
+    elevation_deg: float = 25.0,
+    azimuth_deg: float = 0.0,
+) -> List[Camera]:
+    """Cameras dollying towards (or away from) ``center`` along a fixed bearing.
+
+    The eye slides between ``start_radius`` and ``end_radius`` on the ray
+    defined by ``azimuth_deg``/``elevation_deg`` while always looking at
+    ``center`` — pure translation along the viewing axis, the classic
+    dolly shot.
+    """
+    if start_radius <= 0 or end_radius <= 0:
+        raise ValueError("dolly radii must be positive")
+    center = np.asarray(center, dtype=np.float64)
+    elevation = np.deg2rad(elevation_deg)
+    azimuth = np.deg2rad(azimuth_deg)
+    bearing = np.array(
+        [
+            np.cos(azimuth) * np.cos(elevation),
+            np.sin(azimuth) * np.cos(elevation),
+            np.sin(elevation),
+        ]
+    )
+    cameras = []
+    for i in range(num_views):
+        t = i / max(num_views - 1, 1)
+        radius = start_radius + t * (end_radius - start_radius)
+        cameras.append(
+            Camera.from_lookat(
+                eye=center + radius * bearing,
+                target=center,
+                width=width,
+                height=height,
+                fov_deg=fov_deg,
+            )
+        )
+    return cameras
+
+
+def pose_delta(a: Camera, b: Camera) -> tuple:
+    """Pose difference between two cameras.
+
+    Returns
+    -------
+    (rotation_deg, translation):
+        Geodesic rotation angle in degrees and Euclidean distance between
+        the camera centres.  The temporal-coherence path uses this to
+        detect teleports (pose jumps too large for carried state to be
+        worth revalidating).
+    """
+    relative = a.rotation @ b.rotation.T
+    cos_angle = np.clip((np.trace(relative) - 1.0) / 2.0, -1.0, 1.0)
+    rotation_deg = float(np.rad2deg(np.arccos(cos_angle)))
+    translation = float(np.linalg.norm(a.translation - b.translation))
+    return rotation_deg, translation

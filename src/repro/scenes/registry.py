@@ -24,7 +24,12 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.gaussians.camera import Camera, orbit_trajectory
+from repro.gaussians.camera import (
+    Camera,
+    dolly_trajectory,
+    orbit_trajectory,
+    walkthrough_trajectory,
+)
 from repro.gaussians.model import GaussianModel
 from repro.scenes.synthetic import SceneSpec, generate_scene
 
@@ -237,3 +242,105 @@ def eval_cameras(
         )
         for i in range(num_views)
     ]
+
+
+# ----------------------------------------------------------------------
+# Trajectory workloads (camera paths for streaming-video traffic).
+# ----------------------------------------------------------------------
+def _scene_view_geometry(desc: SceneDescriptor, resolution_scale: float):
+    """Shared view geometry of a scene's workloads: resolution, centre, radius."""
+    width, height = desc.sim_resolution
+    if resolution_scale != 1.0:
+        width = max(16, int(round(width * resolution_scale)))
+        height = max(16, int(round(height * resolution_scale)))
+    radius = desc.extent * (1.15 if desc.layout == "object" else 0.62)
+    center = np.zeros(3)
+    if desc.layout == "room":
+        center = np.array([0.0, 0.0, 0.08 * desc.extent])
+    return width, height, center, radius
+
+
+def _orbit_workload(
+    desc: SceneDescriptor, frames: int, resolution_scale: float
+) -> List[Camera]:
+    """A smooth 90-degree pan around the scene centre."""
+    width, height, center, radius = _scene_view_geometry(desc, resolution_scale)
+    return orbit_trajectory(
+        center=center,
+        radius=radius,
+        num_views=frames,
+        width=width,
+        height=height,
+        fov_deg=60.0,
+        elevation_deg=22.0,
+        arc_deg=90.0,
+    )
+
+
+def _walkthrough_workload(
+    desc: SceneDescriptor, frames: int, resolution_scale: float
+) -> List[Camera]:
+    """A straight walk across the scene, looking along the travel direction."""
+    width, height, center, radius = _scene_view_geometry(desc, resolution_scale)
+    offset = np.array([0.35 * radius, -0.9 * radius, 0.0])
+    travel = np.array([0.0, 1.2 * radius, 0.0])
+    return walkthrough_trajectory(
+        start=center + offset,
+        end=center + offset + travel,
+        num_views=frames,
+        width=width,
+        height=height,
+        fov_deg=60.0,
+        look_ahead=1.0,
+    )
+
+
+def _dolly_workload(
+    desc: SceneDescriptor, frames: int, resolution_scale: float
+) -> List[Camera]:
+    """A push-in dolly shot towards the scene centre."""
+    width, height, center, radius = _scene_view_geometry(desc, resolution_scale)
+    return dolly_trajectory(
+        center=center,
+        start_radius=1.25 * radius,
+        end_radius=0.8 * radius,
+        num_views=frames,
+        width=width,
+        height=height,
+        fov_deg=60.0,
+        elevation_deg=22.0,
+        azimuth_deg=30.0,
+    )
+
+
+#: Named camera-path workloads available for every registered scene.  Each
+#: generator maps ``(descriptor, frames, resolution_scale)`` to a camera
+#: list; the trajectory API (:class:`repro.api.spec.TrajectorySpec`, the
+#: service ``trajectory`` request kind) resolves path names against this
+#: registry.
+TRAJECTORY_REGISTRY: Dict[str, object] = {
+    "orbit": _orbit_workload,
+    "walkthrough": _walkthrough_workload,
+    "dolly": _dolly_workload,
+}
+
+
+def trajectory_names() -> List[str]:
+    """Names of the registered camera-path workloads."""
+    return list(TRAJECTORY_REGISTRY)
+
+
+def trajectory_cameras(
+    scene: str, path: str, frames: int, resolution_scale: float = 1.0
+) -> List[Camera]:
+    """The camera list of a named trajectory workload on a registered scene."""
+    if scene not in SCENE_REGISTRY:
+        raise KeyError(f"unknown scene {scene!r}; available: {sorted(SCENE_REGISTRY)}")
+    if path not in TRAJECTORY_REGISTRY:
+        raise KeyError(
+            f"unknown trajectory {path!r}; available: {sorted(TRAJECTORY_REGISTRY)}"
+        )
+    if frames < 1:
+        raise ValueError(f"frames must be >= 1, got {frames}")
+    generator = TRAJECTORY_REGISTRY[path]
+    return generator(SCENE_REGISTRY[scene], frames, resolution_scale)

@@ -124,6 +124,22 @@ def _execute(
             "telemetry": dict(getattr(context.streaming_output, "telemetry", {}) or {}),
         }
 
+    if kind == "trajectory":
+        from repro.api.spec import TrajectorySpec
+
+        spec = TrajectorySpec.from_dict(payload["spec"])
+        result = session.run_trajectory(spec)
+        return {
+            "label": spec.label,
+            "scene": spec.scene,
+            "path": spec.path_name,
+            "frames": int(result.metrics.get("frames", spec.frames)),
+            "resolution_scale": float(spec.resolution_scale),
+            "metrics": result.metrics,
+            "summary": dict(result.payload.get("summary") or {}),
+            "image_checksums": list(result.payload.get("image_checksums") or []),
+        }
+
     if kind == "point":
         from repro.api.spec import ExperimentSpec
 

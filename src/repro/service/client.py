@@ -188,6 +188,32 @@ class ServiceClient:
             payload["base"] = base
         return self.submit("sweep", payload, retries=retries)
 
+    def trajectory(
+        self,
+        spec: Any = None,
+        retries: int = 0,
+        **spec_fields: Any,
+    ) -> ServiceResponse:
+        """Submit a trajectory workload.
+
+        ``spec`` is a :class:`~repro.api.spec.TrajectorySpec` (anything
+        with ``to_dict()``) or a spec-shaped mapping; keyword fields build
+        or extend the mapping form (``client.trajectory(scene="train",
+        path="orbit", frames=24)``).
+        """
+        if spec is None:
+            payload_spec: Dict[str, Any] = dict(spec_fields)
+        elif hasattr(spec, "to_dict"):
+            if spec_fields:
+                raise TypeError(
+                    "pass a TrajectorySpec or spec fields, not both"
+                )
+            payload_spec = spec.to_dict()
+        else:
+            payload_spec = dict(spec)
+            payload_spec.update(spec_fields)
+        return self.submit("trajectory", {"spec": payload_spec}, retries=retries)
+
     def experiment(
         self, name: str, retries: int = 0, **options: Any
     ) -> ServiceResponse:

@@ -403,6 +403,19 @@ class ServiceDaemon:
                     "queue_depth": len(self.queue),
                 }
                 self.metrics["degraded"] += 1
+        elif record.request.kind == "trajectory":
+            spec = dict(payload.get("spec") or {})
+            scale = float(spec.get("resolution_scale", 1.0))
+            target = max(MIN_RESOLUTION_SCALE, scale * factor)
+            if target < scale:
+                spec["resolution_scale"] = target
+                payload["spec"] = spec
+                record.degraded = {
+                    "resolution_scale": target,
+                    "requested_resolution_scale": scale,
+                    "queue_depth": len(self.queue),
+                }
+                self.metrics["degraded"] += 1
 
     # ------------------------------------------------------------------
     # admission (event-loop context)
@@ -434,7 +447,7 @@ class ServiceDaemon:
 
     @staticmethod
     def _cost_of(request: ServiceRequest) -> float:
-        """Fair-share cost: sweeps charge one unit per grid point."""
+        """Fair-share cost: sweeps charge per grid point, trajectories per frame."""
         if request.kind == "sweep":
             cost = 1.0
             for values in (request.payload.get("grid") or {}).values():
@@ -443,6 +456,18 @@ class ServiceDaemon:
                 except TypeError:
                     pass
             return cost
+        if request.kind == "trajectory":
+            spec = request.payload.get("spec") or {}
+            path = spec.get("path", "orbit")
+            if not isinstance(path, str):
+                try:
+                    return float(max(1, len(path)))
+                except TypeError:
+                    return 1.0
+            try:
+                return float(max(1, int(spec.get("frames", 16))))
+            except (TypeError, ValueError):
+                return 1.0
         return 1.0
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 #: Request kinds executed by a worker actor (queued, scheduled fairly).
-WORK_KINDS = ("render", "point", "sweep", "experiment", "sleep")
+WORK_KINDS = ("render", "trajectory", "point", "sweep", "experiment", "sleep")
 
 #: Request kinds answered inline by the event loop (never queued).
 CONTROL_KINDS = ("ping", "health", "metrics", "shutdown")

@@ -27,6 +27,7 @@ def test_registry_covers_every_paper_artifact():
         "fig13",
         "claims",
         "engine",
+        "trajectory",
     }
     for experiment in EXPERIMENTS.values():
         assert experiment.description

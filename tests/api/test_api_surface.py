@@ -1,0 +1,44 @@
+"""The public surface of ``repro.api`` matches its ``__all__`` exactly."""
+
+import inspect
+
+import repro.api as api
+
+
+def _importable_names():
+    """Non-underscore attributes of the package that are not submodules."""
+    return {
+        name
+        for name in dir(api)
+        if not name.startswith("_") and not inspect.ismodule(getattr(api, name))
+    }
+
+
+def test_all_entries_resolve():
+    for name in api.__all__:
+        assert hasattr(api, name), f"__all__ names missing attribute {name!r}"
+
+
+def test_surface_matches_all():
+    # Everything importable from the package top level is deliberate: the
+    # __all__ list IS the public API, with no stray re-exports (internals
+    # like worker_session / atomic_write_json stay on their own modules).
+    assert _importable_names() == set(api.__all__)
+
+
+def test_all_is_sorted_and_unique():
+    assert sorted(api.__all__) == list(api.__all__)
+    assert len(set(api.__all__)) == len(api.__all__)
+
+
+def test_internals_stay_importable_from_their_modules():
+    from repro.api.pool import worker_session
+    from repro.api.store import atomic_write_json
+
+    assert callable(worker_session)
+    assert callable(atomic_write_json)
+
+
+def test_new_types_exported():
+    assert api.RenderOptions is not None
+    assert api.TrajectorySpec is not None

@@ -24,6 +24,7 @@ CHEAP_KWARGS = {
     "fig12": {"scene": "lego", "voxel_sizes": (0.4, 0.8)},
     "fig13": {"scene": "lego", "cfus": (1, 4), "ffus": (1,)},
     "claims": {"scene": "lego"},
+    "trajectory": {"scene": "lego", "frames": 3, "resolution_scale": 0.25},
     "engine": {"num_gaussians": 400, "repeats": 1},
 }
 
@@ -63,6 +64,7 @@ def test_registry_covers_every_paper_artifact():
         "fig12",
         "fig13",
         "claims",
+        "trajectory",
         "engine",
     ]
     for definition in REGISTRY.values():

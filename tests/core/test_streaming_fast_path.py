@@ -247,7 +247,7 @@ class TestBatchedTraversal:
             origins, directions = camera.pixel_rays(px, py)
             batch = traverse_rays(grid, origins, directions)
             for ray in range(len(origins)):
-                assert batch[ray] == traverse_ray(
+                assert list(batch[ray]) == traverse_ray(
                     grid, origins[ray], directions[ray]
                 )
 
@@ -261,7 +261,7 @@ class TestBatchedTraversal:
         full = traverse_rays(grid, origins, directions)
         for bounded, reference in zip(short, full):
             assert len(bounded) <= 3
-            assert bounded == reference[: len(bounded)]
+            assert list(bounded) == list(reference[: len(bounded)])
 
     def test_zero_direction_raises(self):
         model = make_model(num_gaussians=50, seed=1)

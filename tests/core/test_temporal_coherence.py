@@ -1,0 +1,156 @@
+"""Golden-parity suite for the temporal-coherence carry path.
+
+The acceptance bar of the trajectory fast path (PR 8): across scenes and
+camera paths, rendering with ``StreamingConfig.temporal_mode="carry"``
+must produce images within 1e-9 of ``temporal_mode="off"`` and *exactly*
+equal workload statistics, frame by frame.  Teleports (pose jumps beyond
+the staleness thresholds) must fall back to cold frames, configurations
+the carry path cannot serve (reference kernels, parallel tiles) must
+render cold and say why in the telemetry, and unknown modes must be
+rejected at construction time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import StreamingConfig
+from repro.core.pipeline import StreamingRenderer
+from repro.engine.bench import streaming_stats_equal
+from repro.gaussians.camera import Camera
+from tests.conftest import make_model
+
+GOLDEN_ATOL = 1e-9
+
+SCENES = {
+    "sparse": dict(num_gaussians=300, extent=5.0, scale=0.1, seed=3, opacity=0.8),
+    "opaque": dict(num_gaussians=900, extent=3.0, scale=0.25, seed=11, opacity=0.98),
+}
+
+SCENE_SETUP = {
+    "sparse": dict(voxel_size=0.8, distance=5.0),
+    "opaque": dict(voxel_size=0.6, distance=4.0),
+}
+
+
+def _camera_at(angle_deg: float, distance: float, height: float = 0.6) -> Camera:
+    angle = np.deg2rad(angle_deg)
+    return Camera.from_lookat(
+        eye=(distance * np.cos(angle), distance * np.sin(angle), height),
+        target=(0.0, 0.0, 0.0),
+        width=48,
+        height=32,
+        fov_deg=60.0,
+    )
+
+
+def _trajectory(path: str, distance: float):
+    """Small deterministic camera paths kept below the teleport thresholds."""
+    if path == "orbit":
+        return [_camera_at(4.0 * i, distance) for i in range(5)]
+    if path == "dolly":
+        return [_camera_at(0.0, distance * (1.0 - 0.02 * i)) for i in range(5)]
+    if path == "repeat":
+        return [_camera_at(30.0, distance)] * 4
+    raise AssertionError(path)
+
+
+def _render_sequences(scene: str, cameras, **carry_options):
+    model = make_model(**SCENES[scene])
+    base = StreamingConfig(
+        voxel_size=SCENE_SETUP[scene]["voxel_size"], frame_cache_size=0
+    )
+    off = StreamingRenderer(model, base.with_options(temporal_mode="off"))
+    carry = StreamingRenderer(
+        model, base.with_options(temporal_mode="carry", **carry_options)
+    )
+    return [(off.render(c), carry.render(c)) for c in cameras], carry
+
+
+def _assert_frames_equal(pairs):
+    for index, (cold, warm) in enumerate(pairs):
+        np.testing.assert_allclose(
+            warm.image, cold.image, atol=GOLDEN_ATOL,
+            err_msg=f"frame {index} image diverged",
+        )
+        np.testing.assert_allclose(
+            warm.alpha, cold.alpha, atol=GOLDEN_ATOL,
+            err_msg=f"frame {index} alpha diverged",
+        )
+        equal, detail = streaming_stats_equal(cold.stats, warm.stats)
+        assert equal, f"frame {index}: {detail}"
+
+
+class TestCarryGoldenParity:
+    @pytest.mark.parametrize("scene", sorted(SCENES))
+    @pytest.mark.parametrize("path", ["orbit", "dolly", "repeat"])
+    def test_carry_matches_off_frame_by_frame(self, scene, path):
+        cameras = _trajectory(path, SCENE_SETUP[scene]["distance"])
+        pairs, _ = _render_sequences(scene, cameras)
+        _assert_frames_equal(pairs)
+
+    def test_warm_frames_report_carry_telemetry(self):
+        cameras = _trajectory("orbit", SCENE_SETUP["sparse"]["distance"])
+        pairs, carry = _render_sequences("sparse", cameras)
+        first = pairs[0][1].telemetry
+        assert first["temporal_mode"] == "carry"
+        assert first["cold_frame"] is True
+        for _, warm in pairs[1:]:
+            telemetry = warm.telemetry
+            assert telemetry["cold_frame"] is False
+            assert {"carried_voxels", "revalidated", "coherence_hit_rate"} <= set(
+                telemetry
+            )
+        snapshot = carry.temporal.snapshot()
+        assert snapshot["frames"] == len(cameras)
+        assert snapshot["cold_frames"] == 1
+
+    def test_repeated_pose_carries_gathers_and_orders(self):
+        """Identical consecutive poses replay the cached work exactly."""
+        cameras = _trajectory("repeat", SCENE_SETUP["sparse"]["distance"])
+        pairs, carry = _render_sequences("sparse", cameras)
+        _assert_frames_equal(pairs)
+        snapshot = carry.temporal.snapshot()
+        assert snapshot["carried_voxels"] > 0
+        assert snapshot["orders_carried"] > 0
+        assert snapshot["coherence_hit_rate"] > 0.5
+
+
+class TestTeleportFallback:
+    def test_teleport_renders_cold_and_stays_exact(self):
+        """90-degree pose jumps drop the carried state every frame."""
+        distance = SCENE_SETUP["sparse"]["distance"]
+        cameras = [_camera_at(90.0 * i, distance) for i in range(4)]
+        pairs, carry = _render_sequences("sparse", cameras)
+        _assert_frames_equal(pairs)
+        snapshot = carry.temporal.snapshot()
+        assert snapshot["cold_frames"] == len(cameras)
+        assert snapshot["teleports"] == len(cameras) - 1
+        assert snapshot["carried_voxels"] == 0
+
+
+class TestConfigurationFallbacks:
+    def test_reference_kernel_falls_back_with_reason(self):
+        cameras = _trajectory("orbit", SCENE_SETUP["sparse"]["distance"])[:2]
+        pairs, _ = _render_sequences(
+            "sparse", cameras, blend_kernel="reference", streaming_kernel="reference"
+        )
+        for _, warm in pairs:
+            assert warm.telemetry["temporal_mode"] == "off"
+            assert warm.telemetry["temporal_fallback"] == "reference-kernel"
+
+    def test_parallel_tiles_fall_back_with_reason(self):
+        model = make_model(**SCENES["sparse"])
+        config = StreamingConfig(
+            voxel_size=SCENE_SETUP["sparse"]["voxel_size"],
+            temporal_mode="carry",
+            frame_cache_size=0,
+        )
+        renderer = StreamingRenderer(model, config)
+        camera = _camera_at(0.0, SCENE_SETUP["sparse"]["distance"])
+        output = renderer.render(camera, tile_workers=2, tile_mode="thread")
+        assert output.telemetry["temporal_mode"] == "off"
+        assert output.telemetry["temporal_fallback"] == "tile-workers"
+
+    def test_unknown_temporal_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="temporal_mode"):
+            StreamingConfig(voxel_size=1.0, temporal_mode="bogus")

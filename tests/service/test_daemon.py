@@ -328,6 +328,75 @@ class TestProtocolOverSockets:
             handle.join()
 
 
+class TestTrajectoryRequests:
+    def test_trajectory_round_trip_reports_temporal_telemetry(self):
+        handle = start_daemon(workers=1)
+        try:
+            with handle.client(client="traj", timeout=120) as client:
+                response = client.trajectory(
+                    scene="lego", path="orbit", frames=16, resolution_scale=0.25
+                )
+                assert response.ok, response.error
+                result = response.result
+                assert result["label"] == "lego/orbitx16"
+                assert result["frames"] == 16
+                assert len(result["image_checksums"]) == 16
+                # A 16-frame orbit stays under the teleport threshold, so
+                # the carry path warms up after the cold first frame (the
+                # rotating orders still revalidate — that is the contract).
+                assert result["metrics"]["warm_frames"] == 15
+                assert result["metrics"]["revalidated"] > 0
+                # A repeated-pose trajectory carries everything after the
+                # cold first frame; the counters surface through /metrics.
+                from repro.scenes.registry import trajectory_cameras
+
+                pose = trajectory_cameras(
+                    "lego", "orbit", 4, resolution_scale=0.25
+                )[0]
+                repeated = client.trajectory(
+                    scene="lego",
+                    path=[
+                        {
+                            "rotation": pose.rotation.reshape(-1).tolist(),
+                            "translation": pose.translation.tolist(),
+                            "width": pose.width,
+                            "height": pose.height,
+                            "fx": pose.fx,
+                            "fy": pose.fy,
+                        }
+                    ]
+                    * 3,
+                )
+                assert repeated.ok, repeated.error
+                assert repeated.result["path"] == "custom"
+                assert repeated.result["metrics"]["carried_voxels"] > 0
+                temporal = client.metrics()["engine"]["temporal"]
+                assert temporal["frames"] >= 19
+                assert temporal["carried_voxels"] > 0
+        finally:
+            handle.stop()
+            handle.join()
+
+    def test_trajectory_spec_object_and_fair_cost(self):
+        from repro.api.spec import TrajectorySpec
+        from repro.service.protocol import ServiceRequest
+
+        spec = TrajectorySpec(scene="lego", path="dolly", frames=4, resolution_scale=0.25)
+        request = ServiceRequest(kind="trajectory", payload={"spec": spec.to_dict()})
+        assert ServiceDaemon._cost_of(request) == 4.0
+        handle = start_daemon(workers=1)
+        try:
+            with handle.client(client="traj", timeout=120) as client:
+                response = client.trajectory(spec)
+                assert response.ok, response.error
+                assert response.result["path"] == "dolly"
+                with pytest.raises(TypeError, match="not both"):
+                    client.trajectory(spec, frames=8)
+        finally:
+            handle.stop()
+            handle.join()
+
+
 class TestDegradation:
     def test_overload_downshifts_resolution_scale(self):
         handle = start_daemon(workers=1, degrade_depth=0)
@@ -342,6 +411,23 @@ class TestDegradation:
             # The render actually ran at the downshifted scale.
             assert response.result["resolution_scale"] == pytest.approx(0.25)
             assert handle.daemon.metrics["degraded"] == 1
+        finally:
+            handle.stop()
+            handle.join()
+
+    def test_overload_downshifts_trajectory_resolution_scale(self):
+        handle = start_daemon(workers=1, degrade_depth=0)
+        try:
+            response = submit_async(
+                handle,
+                "trajectory",
+                {"spec": {"scene": "lego", "path": "dolly", "frames": 2,
+                          "resolution_scale": 0.5}},
+            ).result(120)
+            assert response.ok
+            degraded = response.meta["degraded"]
+            assert degraded["resolution_scale"] == pytest.approx(0.25)
+            assert response.result["resolution_scale"] == pytest.approx(0.25)
         finally:
             handle.stop()
             handle.join()
