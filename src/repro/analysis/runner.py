@@ -152,6 +152,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.service.cli import main as serve_main
 
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "fleet":
+        # ``runner fleet trace|replay|search ...`` — fleet simulator CLI.
+        from repro.fleet.cli import main as fleet_main
+
+        return fleet_main(list(argv[1:]))
+    if argv and argv[0] == "search":
+        # ``runner search --axis ...`` — shortcut for ``fleet search``.
+        from repro.fleet.cli import main as fleet_main
+
+        return fleet_main(["search", *argv[1:]])
     parser = argparse.ArgumentParser(
         prog="repro.analysis.runner",
         description="Regenerate tables/figures of the STREAMINGGS evaluation.",

@@ -52,9 +52,8 @@ from repro.analysis.context import SceneContext, build_scene_context
 from repro.analysis.report import format_table
 from repro.api.pool import WorkerPool
 from repro.api.result import ExperimentResult, SweepResult
-from repro.api.spec import ACCELERATOR_ARCHS, ExperimentSpec, TrajectorySpec, sweep
+from repro.api.spec import ExperimentSpec, TrajectorySpec, sweep
 from repro.api.store import ResultStore, resolve_store
-from repro.arch.area import AreaModel
 from repro.arch.gpu import OrinNXModel
 from repro.arch.gscore import GSCoreModel
 from repro.arch.accelerator import StreamingGSAccelerator
@@ -509,12 +508,14 @@ class Session:
         context = self.spec_context(spec)
         workload = context.workload
         gpu_report = OrinNXModel().evaluate(workload)
+        accelerator = None
         if spec.arch == "gpu":
             report = gpu_report
         elif spec.arch == "gscore":
             report = GSCoreModel().evaluate(workload)
         else:
-            report = StreamingGSAccelerator(spec.accelerator_config()).evaluate(workload)
+            accelerator = StreamingGSAccelerator(spec.accelerator_config())
+            report = accelerator.evaluate(workload)
 
         metrics = {
             "baseline_psnr": context.baseline_psnr,
@@ -528,16 +529,10 @@ class Session:
             "energy_savings": report.energy_saving_over(gpu_report),
             "filtering_reduction": workload.filtering_reduction,
         }
-        if spec.arch in ACCELERATOR_ARCHS:
-            accel = spec.accelerator_config()
-            metrics["area_mm2"] = AreaModel().breakdown(
-                num_vsu=accel.num_vsu,
-                num_hfu=accel.num_hfu,
-                cfus_per_hfu=accel.cfus_per_hfu,
-                ffus_per_hfu=accel.ffus_per_hfu,
-                num_sort_units=accel.num_sort_units,
-                num_render_units=accel.num_render_units,
-            ).total_mm2
+        if accelerator is not None:
+            # The accelerator's own area model sees the (possibly
+            # sram_scale-adjusted) buffers, so area tracks the SRAM knob.
+            metrics["area_mm2"] = accelerator.area_mm2()
 
         config = context.streaming_config
         title = f"experiment point — {spec.label}"
@@ -661,6 +656,27 @@ class Session:
     ) -> SweepResult:
         """Expand a parameter grid (:func:`repro.api.spec.sweep`) and run it."""
         return self.run_sweep(sweep(base, **grid), swept=list(grid), jobs=jobs, cache=cache)
+
+    def pareto_search(
+        self,
+        base: Optional[ExperimentSpec] = None,
+        *,
+        max_evals: Optional[int] = None,
+        **axes: Any,
+    ):
+        """Pareto frontier search over accelerator design axes.
+
+        Unlike :meth:`sweep`, the design space is *navigated* — lattice
+        corners and centre are evaluated first and the frontier's
+        neighbours are refined until closure — instead of enumerated, so
+        large spaces cost a fraction of the grid.  Point evaluations go
+        through :meth:`run_sweep` and are therefore cached in (and
+        resumed from) the session's :class:`ResultStore`.  See
+        :func:`repro.fleet.search.pareto_search`.
+        """
+        from repro.fleet.search import pareto_search
+
+        return pareto_search(self, base, axes=axes, max_evals=max_evals)
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle.

@@ -17,7 +17,7 @@ The ablation variants of Fig. 11 map onto configuration flags:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict
 
 from repro.arch.area import AreaModel
@@ -54,6 +54,13 @@ class AcceleratorConfig:
     group_size: int = 32
     use_vq: bool = True
     use_coarse_filter: bool = True
+    #: Scales every on-chip buffer capacity (and hence SRAM area).  Below
+    #: 1.0 the codebook buffer no longer holds the full VQ codebook, so a
+    #: fraction of decodes miss and fall back to raw second-half fetches.
+    sram_scale: float = 1.0
+    #: Number of LPDDR3 channels; bandwidth scales linearly from the
+    #: 25.6 GB/s-per-channel baseline of Table I's 4-channel part.
+    dram_channels: int = 4
     # NOTE: ``group_size`` is the pixel-group edge the VSU orders voxels for
     # and the HFU filters against; 32 px reproduces the paper's filtering
     # effectiveness (Sec. III-B's 76.3 % reduction is measured against the
@@ -71,6 +78,13 @@ class AcceleratorConfig:
         )
         if min(counts) <= 0:
             raise ValueError("all unit counts must be positive")
+        if not self.sram_scale > 0:
+            raise ValueError(f"sram_scale must be > 0, got {self.sram_scale!r}")
+        channels = self.dram_channels
+        if channels < 1 or int(channels) != channels:
+            raise ValueError(
+                f"dram_channels must be a positive integer, got {channels!r}"
+            )
 
     @classmethod
     def paper_default(cls) -> "AcceleratorConfig":
@@ -129,8 +143,28 @@ class StreamingGSAccelerator:
     ) -> None:
         self.config = config
         self.tech = tech
+        if int(config.dram_channels) != dram.channels:
+            per_channel = dram.peak_bandwidth_bytes / dram.channels
+            dram = replace(
+                dram,
+                name=f"{dram.name}-x{int(config.dram_channels)}",
+                channels=int(config.dram_channels),
+                peak_bandwidth_bytes=per_channel * int(config.dram_channels),
+            )
         self.dram = dram
-        self.buffers = buffers or default_buffers()
+        if buffers is None:
+            buffers = default_buffers()
+            if config.sram_scale != 1.0:
+                buffers = {
+                    name: replace(
+                        buf,
+                        size_bytes=max(
+                            1024, int(round(buf.size_bytes * config.sram_scale))
+                        ),
+                    )
+                    for name, buf in buffers.items()
+                }
+        self.buffers = buffers
         self.vsu = VoxelSortingUnit(tech=tech)
         self.hfu = HierarchicalFilteringUnit(
             tech=tech, num_cfu=config.cfus_per_hfu, num_ffu=config.ffus_per_hfu
@@ -153,12 +187,26 @@ class StreamingGSAccelerator:
 
     def traffic(self, workload: FullScaleWorkload) -> StreamingTraffic:
         """Per-frame DRAM traffic under this configuration."""
-        adjusted = workload.with_group_size(self.config.group_size)
-        return streaming_traffic(
+        return self._traffic(workload.with_group_size(self.config.group_size))
+
+    def _traffic(self, adjusted: FullScaleWorkload) -> StreamingTraffic:
+        config = self.config
+        traffic = streaming_traffic(
             adjusted,
-            use_vq=self.config.use_vq,
-            use_coarse_filter=self.config.use_coarse_filter,
+            use_vq=config.use_vq,
+            use_coarse_filter=config.use_coarse_filter,
         )
+        if config.use_vq and config.sram_scale < 1.0:
+            # An undersized codebook buffer covers only ``sram_scale`` of
+            # the VQ codebook; decodes that miss fall back to fetching the
+            # raw (uncompressed) second half of those Gaussians from DRAM.
+            miss = 1.0 - max(0.0, min(1.0, config.sram_scale))
+            fetched = adjusted.second_half_fetched(config.use_coarse_filter)
+            extra = miss * fetched * (
+                adjusted.second_half_bytes_raw - adjusted.second_half_bytes_vq
+            )
+            traffic.second_half_bytes += extra
+        return traffic
 
     # ------------------------------------------------------------------
     def evaluate(self, workload: FullScaleWorkload) -> PerformanceReport:
@@ -198,11 +246,7 @@ class StreamingGSAccelerator:
         }
         compute_time = max(stage_cycles.values()) * self.tech.cycle_time_s
 
-        traffic = streaming_traffic(
-            adjusted,
-            use_vq=config.use_vq,
-            use_coarse_filter=config.use_coarse_filter,
-        )
+        traffic = self._traffic(adjusted)
         dram_time = self.dram.transfer_time_s(traffic.total_bytes)
         # Voxel fetches are double-buffered, so DRAM time is overlapped with
         # compute; the frame latency is the slower of the two plus a small

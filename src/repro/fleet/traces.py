@@ -1,0 +1,411 @@
+"""Synthetic fleet traces: request classes, arrival processes, events.
+
+A *trace* is a deterministic, serialisable schedule of service requests:
+which synthetic client submits what work at which offset from the trace
+start.  Traces are generated from a handful of :class:`RequestClass`
+definitions (scene, resolution, compression, request kind, traffic
+weight, client population) and an arrival process:
+
+* ``poisson`` — memoryless arrivals at the aggregate mean rate;
+* ``bursty`` — arrivals clustered into short bursts (flash crowds);
+* ``diurnal`` — a sinusoidally modulated rate over the trace window
+  (one "day" of low→peak→low demand compressed into ``duration_s``).
+
+Everything is driven by one ``random.Random(seed)``, so a trace is a
+pure function of its parameters — the replay benchmark and CI smoke can
+regenerate byte-identical schedules instead of shipping fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.scenes.registry import SCENE_REGISTRY
+
+#: Work kinds a trace event may carry (a subset of the wire protocol's
+#: WORK_KINDS — control kinds are not load).
+TRACE_KINDS = ("render", "trajectory", "sweep")
+
+ARRIVAL_PROCESSES = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One homogeneous slice of fleet traffic.
+
+    ``weight`` sets the class's share of the aggregate arrival rate;
+    ``clients`` is the synthetic client population the class's arrivals
+    are spread over (each client is one connection during replay, with
+    the class name and an index as its identity, e.g. ``preview-3``).
+    """
+
+    name: str
+    kind: str = "render"
+    weight: float = 1.0
+    scene: str = "lego"
+    resolution_scale: float = 1.0
+    compression: str = "vq"
+    clients: int = 4
+    #: Trajectory-kind parameters.
+    frames: int = 4
+    path: str = "orbit"
+    #: Sweep-kind grid, e.g. ``{"num_hfu": [2, 4]}``.
+    grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("request class needs a name")
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(
+                f"class {self.name!r}: kind {self.kind!r} not in {TRACE_KINDS}"
+            )
+        if not self.weight > 0:
+            raise ValueError(f"class {self.name!r}: weight must be > 0")
+        if self.scene not in SCENE_REGISTRY:
+            raise ValueError(
+                f"class {self.name!r}: unknown scene {self.scene!r}"
+            )
+        if not 0 < self.resolution_scale <= 1.0:
+            raise ValueError(
+                f"class {self.name!r}: resolution_scale must be in (0, 1]"
+            )
+        if self.clients < 1:
+            raise ValueError(f"class {self.name!r}: clients must be >= 1")
+        if self.frames < 1:
+            raise ValueError(f"class {self.name!r}: frames must be >= 1")
+        if self.kind == "sweep" and not self.grid:
+            raise ValueError(f"class {self.name!r}: sweep kind needs a grid")
+        # Normalize the grid mapping into a hashable tuple-of-tuples.
+        frozen = tuple(
+            (str(axis), tuple(values)) for axis, values in dict(self.grid).items()
+        )
+        object.__setattr__(self, "grid", frozen)
+
+    # ------------------------------------------------------------------
+    @property
+    def grid_dict(self) -> Dict[str, List[Any]]:
+        return {axis: list(values) for axis, values in self.grid}
+
+    @property
+    def frames_per_event(self) -> float:
+        """Model frames one event of this class represents.
+
+        A render is one frame; a trajectory is its frame count; a sweep
+        evaluates one frame per grid point.
+        """
+        if self.kind == "trajectory":
+            return float(self.frames)
+        if self.kind == "sweep":
+            points = 1
+            for _, values in self.grid:
+                points *= max(1, len(values))
+            return float(points)
+        return 1.0
+
+    def payload(self) -> Dict[str, Any]:
+        """The wire payload one event of this class submits."""
+        if self.kind == "render":
+            return {
+                "scene": self.scene,
+                "resolution_scale": self.resolution_scale,
+            }
+        if self.kind == "trajectory":
+            spec: Dict[str, Any] = {
+                "scene": self.scene,
+                "path": self.path,
+                "frames": self.frames,
+                "resolution_scale": self.resolution_scale,
+            }
+            if self.compression == "none":
+                spec["config"] = {"use_vq": False}
+            return {"spec": spec}
+        base: Dict[str, Any] = {
+            "scene": self.scene,
+            "resolution_scale": self.resolution_scale,
+            "compression": self.compression,
+        }
+        return {"base": base, "grid": self.grid_dict}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "weight": self.weight,
+            "scene": self.scene,
+            "resolution_scale": self.resolution_scale,
+            "compression": self.compression,
+            "clients": self.clients,
+            "frames": self.frames,
+            "path": self.path,
+            "grid": self.grid_dict,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RequestClass":
+        values = dict(data)
+        values["grid"] = tuple(
+            (axis, tuple(vals)) for axis, vals in (values.get("grid") or {}).items()
+        )
+        return cls(**values)
+
+
+def default_classes(clients_per_class: int = 4) -> List[RequestClass]:
+    """A representative mixed-fleet workload (the CLI / benchmark preset).
+
+    Interactive previews dominate the request count; batch sweeps and
+    trajectory walkthroughs are rarer but each represents many frames.
+    """
+    return [
+        RequestClass(
+            name="preview",
+            kind="render",
+            weight=6.0,
+            scene="lego",
+            resolution_scale=0.25,
+            clients=clients_per_class,
+        ),
+        RequestClass(
+            name="quality",
+            kind="render",
+            weight=2.0,
+            scene="train",
+            resolution_scale=0.5,
+            clients=clients_per_class,
+        ),
+        RequestClass(
+            name="walkthrough",
+            kind="trajectory",
+            weight=1.0,
+            scene="truck",
+            resolution_scale=0.25,
+            frames=3,
+            path="dolly",
+            clients=max(1, clients_per_class // 2),
+        ),
+        RequestClass(
+            name="batch-sweep",
+            kind="sweep",
+            weight=1.0,
+            scene="lego",
+            resolution_scale=0.25,
+            grid=(("num_hfu", (2, 4)),),
+            clients=max(1, clients_per_class // 2),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled request: who submits what, when."""
+
+    at_s: float
+    client: str
+    klass: str
+    kind: str
+    payload: Dict[str, Any]
+    frames: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at_s": self.at_s,
+            "client": self.client,
+            "class": self.klass,
+            "kind": self.kind,
+            "payload": self.payload,
+            "frames": self.frames,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            at_s=float(data["at_s"]),
+            client=str(data["client"]),
+            klass=str(data["class"]),
+            kind=str(data["kind"]),
+            payload=dict(data["payload"]),
+            frames=float(data.get("frames", 1.0)),
+        )
+
+
+@dataclass
+class Trace:
+    """A generated schedule plus the parameters that produced it."""
+
+    events: List[TraceEvent]
+    duration_s: float
+    rate_hz: float
+    arrival: str
+    seed: int
+    classes: List[RequestClass]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def clients(self) -> List[str]:
+        """Distinct client identities, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.client, None)
+        return list(seen)
+
+    def by_client(self) -> Dict[str, List[TraceEvent]]:
+        """Events grouped per client, each group in schedule order."""
+        grouped: Dict[str, List[TraceEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.client, []).append(event)
+        return grouped
+
+    def frames(self) -> float:
+        return sum(event.frames for event in self.events)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "duration_s": self.duration_s,
+            "rate_hz": self.rate_hz,
+            "arrival": self.arrival,
+            "seed": self.seed,
+            "classes": [klass.to_dict() for klass in self.classes],
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Trace":
+        return cls(
+            events=[TraceEvent.from_dict(e) for e in data["events"]],
+            duration_s=float(data["duration_s"]),
+            rate_hz=float(data["rate_hz"]),
+            arrival=str(data["arrival"]),
+            seed=int(data["seed"]),
+            classes=[RequestClass.from_dict(c) for c in data["classes"]],
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Arrival processes.
+# ----------------------------------------------------------------------
+def _poisson_arrivals(rng: random.Random, rate_hz: float, duration_s: float) -> List[float]:
+    times: List[float] = []
+    t = rng.expovariate(rate_hz)
+    while t < duration_s:
+        times.append(t)
+        t += rng.expovariate(rate_hz)
+    return times
+
+
+def _bursty_arrivals(
+    rng: random.Random, rate_hz: float, duration_s: float, burst_size: int = 8
+) -> List[float]:
+    """Flash-crowd arrivals: Poisson burst starts, tight clusters inside."""
+    times: List[float] = []
+    burst_rate = rate_hz / burst_size
+    # The exponential first-arrival draw exceeds a short window often
+    # enough to yield degenerate empty traces, so the first burst lands
+    # uniformly inside the window; subsequent starts are Poisson.
+    start = rng.uniform(0.0, duration_s)
+    while start < duration_s:
+        t = start
+        for _ in range(burst_size):
+            if t >= duration_s:
+                break
+            times.append(t)
+            # Intra-burst gaps an order of magnitude tighter than the mean.
+            t += rng.expovariate(rate_hz * 10.0)
+        start += rng.expovariate(burst_rate)
+    return times
+
+
+def _diurnal_arrivals(
+    rng: random.Random, rate_hz: float, duration_s: float
+) -> List[float]:
+    """Sinusoidal thinning: one low→peak→low demand cycle over the window."""
+    times: List[float] = []
+    peak = rate_hz * 2.0
+    t = rng.expovariate(peak)
+    while t < duration_s:
+        # Intensity in [0, 1]: trough at both ends, peak mid-window.
+        phase = 2.0 * math.pi * (t / duration_s) - math.pi / 2.0
+        accept = 0.5 * (1.0 + math.sin(phase))
+        if rng.random() < accept:
+            times.append(t)
+        t += rng.expovariate(peak)
+    return times
+
+
+def generate_trace(
+    classes: Optional[Sequence[RequestClass]] = None,
+    duration_s: float = 10.0,
+    rate_hz: float = 20.0,
+    arrival: str = "poisson",
+    seed: int = 0,
+    burst_size: int = 8,
+) -> Trace:
+    """Generate a deterministic trace for the given class mix.
+
+    Every arrival is assigned to a class by weighted choice and to one of
+    that class's synthetic clients uniformly; per-client event streams
+    are therefore in schedule order by construction.
+    """
+    if classes is None:
+        classes = default_classes()
+    classes = list(classes)
+    if not classes:
+        raise ValueError("need at least one request class")
+    names = [klass.name for klass in classes]
+    if len(set(names)) != len(names):
+        raise ValueError(f"request class names must be unique, got {names}")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    if arrival not in ARRIVAL_PROCESSES:
+        raise ValueError(
+            f"unknown arrival {arrival!r}; available: {list(ARRIVAL_PROCESSES)}"
+        )
+
+    rng = random.Random(seed)
+    if arrival == "poisson":
+        times = _poisson_arrivals(rng, rate_hz, duration_s)
+    elif arrival == "bursty":
+        times = _bursty_arrivals(rng, rate_hz, duration_s, burst_size=burst_size)
+    else:
+        times = _diurnal_arrivals(rng, rate_hz, duration_s)
+
+    weights = [klass.weight for klass in classes]
+    events: List[TraceEvent] = []
+    for at_s in times:
+        klass = rng.choices(classes, weights=weights, k=1)[0]
+        index = rng.randrange(klass.clients)
+        events.append(
+            TraceEvent(
+                at_s=round(at_s, 6),
+                client=f"{klass.name}-{index}",
+                klass=klass.name,
+                kind=klass.kind,
+                payload=klass.payload(),
+                frames=klass.frames_per_event,
+            )
+        )
+    return Trace(
+        events=events,
+        duration_s=duration_s,
+        rate_hz=rate_hz,
+        arrival=arrival,
+        seed=seed,
+        classes=classes,
+    )

@@ -44,6 +44,11 @@ class RequestRecord:
     dispatch_index: int = -1
     dispatched_at: float = 0.0
     degraded: Optional[Dict[str, Any]] = None
+    #: True once the dispatcher evaluated the degradation decision for this
+    #: record.  The decision is per *request*, not per dispatch: a crash-
+    #: retried record keeps its first dispatch's payload (already downshifted
+    #: or not) instead of halving ``resolution_scale`` again.
+    degrade_decided: bool = False
     #: Set once the response side is finished with the record (response
     #: delivered, timed out, or failed) — late completions are dropped and
     #: the dispatcher skips done records it pops.

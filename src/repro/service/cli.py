@@ -93,7 +93,18 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         name, _, value = item.partition("=")
         if not name or not value:
             raise SystemExit(f"bad --client-weight {item!r}; expected NAME=WEIGHT")
-        weights[name] = float(value)
+        try:
+            weight = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"bad --client-weight {item!r}; WEIGHT must be a number"
+            ) from None
+        if not weight > 0:
+            raise SystemExit(
+                f"bad --client-weight {item!r}; WEIGHT must be > 0 "
+                "(a non-positive fair-queue weight would starve the client)"
+            )
+        weights[name] = weight
     return ServiceConfig(
         host=args.host,
         port=args.port,

@@ -14,6 +14,7 @@ from multiple clients, matching how the daemon schedules fairness.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 import urllib.request
@@ -29,6 +30,33 @@ from repro.service.protocol import (
 )
 
 Address = Union[Tuple[str, ...], Sequence[str]]
+
+#: Backoff used when a reject carries no ``retry_after_s`` hint at all.
+DEFAULT_BACKOFF_S = 0.1
+
+#: Jitter fraction added on top of the hinted backoff (plus a 10 ms floor
+#: so even a zero hint desynchronizes resubmissions).
+BACKOFF_JITTER = 0.25
+
+
+def backoff_delay(
+    hint: Optional[float],
+    max_backoff_s: float = 5.0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Seconds to sleep before resubmitting after an admission reject.
+
+    ``hint`` is the daemon's ``retry_after_s``.  A ``0.0`` hint means
+    "retry immediately" and is honored — only a missing hint (``None``)
+    falls back to :data:`DEFAULT_BACKOFF_S`.  A bounded random jitter
+    (up to ``BACKOFF_JITTER`` of the base, plus 10 ms) is added so a
+    fleet of clients rejected in the same instant does not resubmit in
+    lockstep; the total never exceeds ``max_backoff_s``.
+    """
+    base = DEFAULT_BACKOFF_S if hint is None else max(0.0, float(hint))
+    base = min(float(max_backoff_s), base)
+    jitter = (rng or random).uniform(0.0, BACKOFF_JITTER * base + 0.01)
+    return max(0.0, min(float(max_backoff_s), base + jitter))
 
 
 class ServiceError(RuntimeError):
@@ -60,6 +88,8 @@ class ServiceClient:
         self.client = client
         self.timeout = timeout
         self.requests_sent = 0
+        #: Admission rejects this client slept through and resubmitted.
+        self.backoffs = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -109,8 +139,9 @@ class ServiceClient:
 
         With ``retries > 0``, admission rejects (``queue_full`` /
         ``draining``) are retried after the daemon's ``retry_after_s``
-        hint (capped at ``max_backoff_s``).  Other failures are returned
-        (or raised) as-is.
+        hint plus bounded jitter (see :func:`backoff_delay`; the sleep is
+        capped at ``max_backoff_s`` and a ``0.0`` hint is honored).  Other
+        failures are returned (or raised) as-is.
         """
         attempts_left = max(0, int(retries))
         while True:
@@ -124,8 +155,8 @@ class ServiceClient:
                     raise ServiceError(response)
                 return response
             attempts_left -= 1
-            hint = response.retry_after_s if response.retry_after_s else 0.1
-            time.sleep(min(max_backoff_s, max(0.01, float(hint))))
+            self.backoffs += 1
+            time.sleep(backoff_delay(response.retry_after_s, max_backoff_s))
 
     def _roundtrip(self, kind: str, payload: Dict[str, Any]) -> ServiceResponse:
         request = ServiceRequest(kind=kind, payload=payload, client=self.client)

@@ -15,7 +15,8 @@
 * under queue pressure the dispatcher **degrades** render/sweep work
   (halving ``resolution_scale`` down to a floor) and surfaces the
   downshift in the response ``meta``, trading fidelity for latency
-  instead of timing out;
+  instead of timing out — the decision is made once per request, so a
+  crash-retried request re-runs at its first dispatch's scale;
 * the :class:`~repro.service.supervisor.Supervisor` task restarts crashed
   actors and re-enqueues their requests; the
   :class:`~repro.service.supervisor.Journal` resumes in-flight work after
@@ -204,6 +205,7 @@ class ServiceDaemon:
             "abandoned": 0,
         }
         self.per_client: Dict[str, Dict[str, int]] = {}
+        self.per_kind: Dict[str, Dict[str, int]] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -281,8 +283,10 @@ class ServiceDaemon:
             self.metrics["abandoned"] += 1
         else:
             record.done = True
-            self.metrics["completed" if response.ok else "failed"] += 1
-            self._client_counter(record.request.client, "completed" if response.ok else "failed")
+            outcome = "completed" if response.ok else "failed"
+            self.metrics[outcome] += 1
+            self._client_counter(record.request.client, outcome)
+            self._kind_counter(record.request.kind, outcome)
             if not record.future.done():
                 record.future.set_result(response)
         if actor.is_alive() and not actor.crashed and not actor.stopped:
@@ -306,6 +310,7 @@ class ServiceDaemon:
         record.done = True
         self.metrics["failed"] += 1
         self._client_counter(record.request.client, "failed")
+        self._kind_counter(record.request.kind, "failed")
         if not record.future.done():
             record.future.set_result(response)
 
@@ -324,6 +329,13 @@ class ServiceDaemon:
         counters = self.per_client.setdefault(
             client,
             {"accepted": 0, "completed": 0, "failed": 0, "rejected": 0},
+        )
+        counters[key] = counters.get(key, 0) + 1
+
+    def _kind_counter(self, kind: str, key: str) -> None:
+        counters = self.per_kind.setdefault(
+            kind,
+            {"accepted": 0, "completed": 0, "failed": 0},
         )
         counters[key] = counters.get(key, 0) + 1
 
@@ -374,7 +386,17 @@ class ServiceDaemon:
             await self._queue_event.wait()
 
     def _apply_degradation(self, record: RequestRecord) -> None:
-        """Downshift render fidelity when the backlog is deep."""
+        """Downshift render fidelity when the backlog is deep.
+
+        Decided exactly once, on the record's first dispatch.  A crash-
+        retried record re-enters here (the supervisor re-admits it at the
+        front of the queue) with its payload already reflecting the first
+        decision, so re-evaluating would halve ``resolution_scale`` a second
+        time and double-count ``metrics["degraded"]``.
+        """
+        if record.degrade_decided:
+            return
+        record.degrade_decided = True
         if len(self.queue) < int(self.config.degrade_depth or 0):
             return
         payload = record.request.payload
@@ -442,6 +464,7 @@ class ServiceDaemon:
         self.journal.record(request, accepted_at=record.accepted_at)
         self.metrics["accepted"] += 1
         self._client_counter(request.client, "accepted")
+        self._kind_counter(request.kind, "accepted")
         self._wake_dispatcher()
         return record
 
@@ -653,6 +676,8 @@ class ServiceDaemon:
             "in_flight": self._in_flight,
             "queue": self.queue.stats(),
             "clients": {name: dict(c) for name, c in self.per_client.items()},
+            "kinds": {name: dict(c) for name, c in self.per_kind.items()},
+            "retry_after_s": self.retry_after_estimate(),
             "actors": [actor.snapshot() for actor in self.actors],
             "supervision": self.supervisor.stats(),
             "events": list(self.events[-20:]),

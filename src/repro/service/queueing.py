@@ -75,6 +75,20 @@ class FairQueue:
             raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
         if self.default_weight <= 0:
             raise ValueError(f"default_weight must be > 0, got {self.default_weight}")
+        validated: Dict[str, float] = {}
+        for client, weight in dict(self.weights).items():
+            try:
+                value = float(weight)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"weight for client {client!r} must be a number, got {weight!r}"
+                ) from None
+            if not value > 0:  # also rejects NaN
+                raise ValueError(
+                    f"weight for client {client!r} must be > 0, got {weight!r}"
+                )
+            validated[client] = value
+        self.weights = validated
         #: Per-client FIFO of entries; tags within one client are monotonic.
         self._queues: "OrderedDict[str, Deque[_Entry]]" = OrderedDict()
         #: Virtual clock: the finish tag of the last popped entry.
@@ -102,8 +116,8 @@ class FairQueue:
         return [client for client, entries in self._queues.items() if entries]
 
     def weight_of(self, client: str) -> float:
-        weight = float(self.weights.get(client, self.default_weight))
-        return weight if weight > 0 else self.default_weight
+        """Service weight of ``client`` (overrides are validated > 0)."""
+        return self.weights.get(client, self.default_weight)
 
     # ------------------------------------------------------------------
     def push(

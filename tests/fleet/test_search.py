@@ -1,0 +1,120 @@
+"""Pareto design-space search: frontier parity, savings, warm resume."""
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.fleet.search import (
+    OBJECTIVES,
+    DesignSpace,
+    SearchPoint,
+    dominates,
+    exhaustive_frontier,
+    pareto_frontier,
+    pareto_search,
+)
+
+AXES = {
+    "num_hfu": [1, 2, 4],
+    "num_render_units": [32, 64, 128],
+    "sram_scale": [0.5, 1.0],
+}
+
+
+def base_spec():
+    return ExperimentSpec(scene="lego", resolution_scale=0.25)
+
+
+def frontier_keys(result):
+    return sorted(tuple(sorted(point.values.items())) for point in result.frontier)
+
+
+class TestDominance:
+    def test_dominates_requires_strict_improvement_somewhere(self):
+        assert dominates((1.0, 1.0), (1.0, 2.0))
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+        assert not dominates((0.5, 3.0), (1.0, 2.0))
+
+    def test_frontier_drops_dominated_points(self):
+        points = [
+            SearchPoint((0,), {"a": 0}, dict(zip(OBJECTIVES, (1.0, 1.0, 1.0)))),
+            SearchPoint((1,), {"a": 1}, dict(zip(OBJECTIVES, (2.0, 2.0, 2.0)))),
+            SearchPoint((2,), {"a": 2}, dict(zip(OBJECTIVES, (0.5, 3.0, 1.0)))),
+        ]
+        frontier = pareto_frontier(points)
+        assert [point.index for point in frontier] == [(0,), (2,)]
+
+
+class TestDesignSpace:
+    def test_lattice_geometry(self):
+        space = DesignSpace(tuple(AXES.items()))
+        assert space.shape == (3, 3, 2)
+        assert space.size == 18
+        assert len(space.corners()) == 8
+        assert space.center() == (1, 1, 1)
+        assert set(space.neighbors((0, 0, 0))) == {(1, 0, 0), (0, 1, 0), (0, 0, 1)}
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown arch option"):
+            DesignSpace((("warp_width", (1, 2)),))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            DesignSpace((("num_hfu", ()),))
+
+    def test_spec_merges_arch_options_and_keeps_tag(self):
+        space = DesignSpace((("num_hfu", (2, 4)),))
+        base = base_spec()
+        spec = space.spec(base, (1,))
+        assert spec.arch_overrides == {"num_hfu": 4}
+        assert spec.tag == base.tag == ""
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def searched(self, tmp_path_factory):
+        """Search + exhaustive grid sharing one store (evaluations are cached)."""
+        store = str(tmp_path_factory.mktemp("search-store"))
+        with Session(store=store) as session:
+            result = pareto_search(session, base_spec(), axes=AXES)
+            search_points = session.points_run
+            grid = exhaustive_frontier(session, base_spec(), axes=AXES)
+        return result, grid, store, search_points
+
+    def test_frontier_matches_exhaustive_grid(self, searched):
+        result, grid, _, _ = searched
+        assert frontier_keys(result) == frontier_keys(grid)
+
+    def test_strictly_fewer_evaluations_than_grid(self, searched):
+        result, grid, _, _ = searched
+        assert grid.evaluations == 18
+        assert result.evaluations < grid.evaluations
+
+    def test_search_points_share_grid_cache_keys(self, searched):
+        # The grid pass only evaluated what the search skipped: identical
+        # lattice points hashed to the same ResultStore entries.
+        result, grid, _, search_points = searched
+        assert search_points == result.evaluations
+
+    def test_warm_rerun_resumes_from_store_with_zero_renders(self, searched):
+        result, _, store, _ = searched
+        with Session(store=store) as session:
+            rerun = session.pareto_search(base_spec(), **AXES)
+            assert session.points_run == 0
+        assert frontier_keys(rerun) == frontier_keys(result)
+
+    def test_objectives_populated_on_every_point(self, searched):
+        result, _, _, _ = searched
+        for point in result.points:
+            assert set(point.objectives) == set(OBJECTIVES)
+            assert all(value > 0 for value in point.objectives.values())
+
+    def test_max_evals_budget_is_respected(self, tmp_path):
+        with Session(store=str(tmp_path)) as session:
+            result = pareto_search(session, base_spec(), axes=AXES, max_evals=5)
+        assert result.evaluations <= 5
+
+    def test_needs_axes(self, tmp_path):
+        with Session(store=str(tmp_path)) as session:
+            with pytest.raises(ValueError, match="at least one axis"):
+                pareto_search(session, base_spec(), axes={})

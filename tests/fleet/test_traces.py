@@ -1,0 +1,129 @@
+"""Trace generation: determinism, serialization, arrival processes."""
+
+import pytest
+
+from repro.fleet.traces import (
+    ARRIVAL_PROCESSES,
+    RequestClass,
+    Trace,
+    default_classes,
+    generate_trace,
+)
+
+
+class TestRequestClass:
+    def test_render_payload_shape(self):
+        klass = RequestClass(name="p", kind="render", scene="lego", resolution_scale=0.5)
+        assert klass.payload() == {"scene": "lego", "resolution_scale": 0.5}
+        assert klass.frames_per_event == 1.0
+
+    def test_trajectory_payload_and_frames(self):
+        klass = RequestClass(
+            name="w", kind="trajectory", scene="train", frames=6, path="dolly",
+            resolution_scale=0.25,
+        )
+        payload = klass.payload()
+        assert payload["spec"]["path"] == "dolly"
+        assert payload["spec"]["frames"] == 6
+        assert klass.frames_per_event == 6.0
+
+    def test_uncompressed_trajectory_disables_vq(self):
+        klass = RequestClass(
+            name="w", kind="trajectory", scene="train", compression="none"
+        )
+        assert klass.payload()["spec"]["config"] == {"use_vq": False}
+
+    def test_sweep_frames_count_grid_points(self):
+        klass = RequestClass(
+            name="b", kind="sweep", grid={"num_hfu": [2, 4], "num_vsu": [1, 2]}
+        )
+        assert klass.frames_per_event == 4.0
+        assert klass.payload()["grid"] == {"num_hfu": [2, 4], "num_vsu": [1, 2]}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(name="x", kind="experiment"),
+            dict(name="x", weight=0),
+            dict(name="x", scene="nope"),
+            dict(name="x", resolution_scale=0.0),
+            dict(name="x", clients=0),
+            dict(name="x", kind="sweep"),  # sweep without a grid
+            dict(name=""),
+        ],
+    )
+    def test_invalid_classes_rejected(self, bad):
+        with pytest.raises(ValueError):
+            RequestClass(**bad)
+
+    def test_round_trips_through_dict(self):
+        klass = RequestClass(
+            name="b", kind="sweep", grid={"num_hfu": [2, 4]}, weight=2.5
+        )
+        assert RequestClass.from_dict(klass.to_dict()) == klass
+
+
+class TestGenerateTrace:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(duration_s=5.0, rate_hz=10.0, seed=7)
+        b = generate_trace(duration_s=5.0, rate_hz=10.0, seed=7)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(duration_s=5.0, rate_hz=10.0, seed=7)
+        b = generate_trace(duration_s=5.0, rate_hz=10.0, seed=8)
+        assert a.to_dict() != b.to_dict()
+
+    @pytest.mark.parametrize("arrival", ARRIVAL_PROCESSES)
+    def test_arrivals_land_inside_the_window(self, arrival):
+        trace = generate_trace(
+            duration_s=4.0, rate_hz=15.0, seed=3, arrival=arrival
+        )
+        assert len(trace) > 0
+        assert all(0.0 <= event.at_s < 4.0 for event in trace.events)
+        # sorted by construction — replay relies on per-client order
+        times = [event.at_s for event in trace.events]
+        assert times == sorted(times)
+
+    def test_mix_respects_class_weights_roughly(self):
+        classes = [
+            RequestClass(name="heavy", weight=9.0, clients=2),
+            RequestClass(name="light", weight=1.0, clients=2),
+        ]
+        trace = generate_trace(classes, duration_s=30.0, rate_hz=30.0, seed=0)
+        counts = {"heavy": 0, "light": 0}
+        for event in trace.events:
+            counts[event.klass] += 1
+        assert counts["heavy"] > counts["light"] * 3
+
+    def test_clients_stay_within_class_population(self):
+        classes = [RequestClass(name="only", clients=3)]
+        trace = generate_trace(classes, duration_s=10.0, rate_hz=20.0, seed=1)
+        assert set(trace.clients) <= {"only-0", "only-1", "only-2"}
+
+    def test_json_round_trip(self, tmp_path):
+        trace = generate_trace(
+            default_classes(2), duration_s=3.0, rate_hz=8.0, seed=5, arrival="bursty"
+        )
+        path = trace.save(tmp_path / "trace.json")
+        assert Trace.load(path).to_dict() == trace.to_dict()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(duration_s=0.0),
+            dict(rate_hz=0.0),
+            dict(arrival="weekly"),
+            dict(classes=[]),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        defaults = dict(duration_s=1.0, rate_hz=1.0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            generate_trace(**defaults)
+
+    def test_duplicate_class_names_rejected(self):
+        classes = [RequestClass(name="a"), RequestClass(name="a", scene="train")]
+        with pytest.raises(ValueError, match="unique"):
+            generate_trace(classes, duration_s=1.0, rate_hz=1.0)

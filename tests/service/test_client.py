@@ -1,0 +1,76 @@
+"""Client-side backoff policy and service CLI parsing tests."""
+
+import random
+
+import pytest
+
+from repro.service.cli import build_parser, config_from_args
+from repro.service.client import (
+    BACKOFF_JITTER,
+    DEFAULT_BACKOFF_S,
+    backoff_delay,
+)
+from repro.service.daemon import ServiceConfig, ServiceDaemon
+
+
+class TestBackoffDelay:
+    def test_zero_hint_is_honored_not_defaulted(self):
+        # retry_after_s=0.0 means "retry immediately"; it used to be
+        # treated as missing (falsy) and silently replaced by 0.1s.
+        rng = random.Random(7)
+        delays = [backoff_delay(0.0, rng=rng) for _ in range(64)]
+        assert all(0.0 <= delay <= 0.01 for delay in delays)
+
+    def test_missing_hint_falls_back_to_default(self):
+        rng = random.Random(7)
+        delay = backoff_delay(None, rng=rng)
+        ceiling = DEFAULT_BACKOFF_S * (1 + BACKOFF_JITTER) + 0.01
+        assert DEFAULT_BACKOFF_S <= delay <= ceiling
+
+    def test_jitter_desynchronizes_lockstep_clients(self):
+        rng = random.Random(42)
+        delays = {backoff_delay(1.0, rng=rng) for _ in range(32)}
+        assert len(delays) > 16  # not one synchronized sleep
+        assert all(1.0 <= delay <= 1.0 * (1 + BACKOFF_JITTER) + 0.01 for delay in delays)
+
+    def test_delay_never_exceeds_the_cap(self):
+        rng = random.Random(3)
+        for hint in (0.0, 0.4, 0.5, 60.0, None):
+            assert backoff_delay(hint, max_backoff_s=0.5, rng=rng) <= 0.5
+
+    def test_negative_hint_is_clamped_to_zero(self):
+        assert 0.0 <= backoff_delay(-3.0, rng=random.Random(1)) <= 0.01
+
+
+class TestClientWeightCli:
+    def _config(self, *weights):
+        args = build_parser().parse_args(
+            [arg for weight in weights for arg in ("--client-weight", weight)]
+        )
+        return config_from_args(args)
+
+    def test_valid_weight_round_trips(self):
+        config = self._config("gold=2.5")
+        assert config.client_weights == {"gold": 2.5}
+
+    def test_zero_weight_rejected_with_clear_error(self):
+        with pytest.raises(SystemExit, match="must be > 0"):
+            self._config("bad=0")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SystemExit, match="must be > 0"):
+            self._config("bad=-2")
+
+    def test_non_numeric_weight_rejected(self):
+        with pytest.raises(SystemExit, match="must be a number"):
+            self._config("bad=heavy")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(SystemExit, match="NAME=WEIGHT"):
+            self._config("no-equals-sign")
+
+    def test_daemon_construction_validates_config_weights(self):
+        # Weights smuggled past the CLI (programmatic config) still fail
+        # fast at FairQueue construction instead of being coerced later.
+        with pytest.raises(ValueError, match="must be > 0"):
+            ServiceDaemon(ServiceConfig(port=0, client_weights={"bad": 0.0}))

@@ -82,6 +82,7 @@ class TestAdmissionControl:
                     "sleep", {"seconds": 0.0}, retries=20, raise_on_error=True
                 )
                 assert response.ok
+                assert client.backoffs >= 1  # it slept through a reject
             assert blocker.result(5).ok and filler.result(5).ok
             assert handle.daemon.metrics["rejected"] >= 1  # it was refused first
         finally:
@@ -432,6 +433,34 @@ class TestDegradation:
             handle.stop()
             handle.join()
 
+    def test_crash_retried_request_keeps_first_dispatch_scale(self):
+        # Regression: degradation used to be re-evaluated on every
+        # dispatch, so a crash-retried request (re-admitted front-of-queue
+        # by the supervisor) had its resolution_scale halved a second time
+        # and metrics["degraded"] double-counted.
+        handle = start_daemon(workers=1, degrade_depth=0)
+        try:
+            response = submit_async(
+                handle,
+                "render",
+                {
+                    "scene": "lego",
+                    "resolution_scale": 0.5,
+                    "inject_crash_attempts": 1,
+                },
+            ).result(60)
+            assert response.ok
+            assert response.meta["attempts"] == 2  # crashed once, retried
+            degraded = response.meta["degraded"]
+            # The retry renders at the FIRST dispatch's scale (0.5 -> 0.25),
+            # not a twice-degraded 0.125.
+            assert degraded["resolution_scale"] == pytest.approx(0.25)
+            assert response.result["resolution_scale"] == pytest.approx(0.25)
+            assert handle.daemon.metrics["degraded"] == 1
+        finally:
+            handle.stop()
+            handle.join()
+
     def test_no_degradation_below_threshold(self):
         handle = start_daemon(workers=1, degrade_depth=4)
         try:
@@ -443,6 +472,65 @@ class TestDegradation:
         finally:
             handle.stop()
             handle.join()
+
+
+class TestDegradedResultCaching:
+    """A queue-degraded result must never be cached under the undegraded
+    spec's hash: the daemon rewrites the payload spec *before* the actor
+    parses it, so the store keys on the spec that actually rendered."""
+
+    def test_degraded_trajectory_caches_under_degraded_key_only(self, tmp_path):
+        from repro.api.spec import TrajectorySpec
+        from repro.api.store import ResultStore
+
+        cache_dir = str(tmp_path / "store")
+        handle = start_daemon(workers=1, degrade_depth=0, cache_dir=cache_dir)
+        try:
+            response = submit_async(
+                handle,
+                "trajectory",
+                {"spec": {"scene": "lego", "path": "dolly", "frames": 2,
+                          "resolution_scale": 0.5}},
+            ).result(120)
+            assert response.ok
+            assert response.meta["degraded"]["resolution_scale"] == pytest.approx(0.25)
+        finally:
+            handle.stop()
+            handle.join()
+        store = ResultStore(cache_dir)
+        requested = TrajectorySpec(
+            scene="lego", path="dolly", frames=2, resolution_scale=0.5
+        )
+        degraded = requested.with_options(resolution_scale=0.25)
+        assert store.get(degraded) is not None
+        assert store.get(requested) is None
+
+    def test_degraded_sweep_caches_under_degraded_key_only(self, tmp_path):
+        from repro.api.spec import ExperimentSpec, sweep
+        from repro.api.store import ResultStore
+
+        cache_dir = str(tmp_path / "store")
+        handle = start_daemon(workers=1, degrade_depth=0, cache_dir=cache_dir)
+        try:
+            response = submit_async(
+                handle,
+                "sweep",
+                {"base": {"scene": "lego", "resolution_scale": 0.5},
+                 "grid": {"num_hfu": [2]}},
+            ).result(120)
+            assert response.ok
+        finally:
+            handle.stop()
+            handle.join()
+        store = ResultStore(cache_dir)
+        requested = sweep(
+            ExperimentSpec(scene="lego", resolution_scale=0.5), num_hfu=[2]
+        )[0]
+        degraded = sweep(
+            ExperimentSpec(scene="lego", resolution_scale=0.25), num_hfu=[2]
+        )[0]
+        assert store.get(degraded) is not None
+        assert store.get(requested) is None
 
 
 class TestJournalResume:

@@ -36,6 +36,26 @@ class TestAdmission:
         assert stats["per_client_depth"] == {"a": 2}
 
 
+class TestWeightValidation:
+    def test_zero_weight_override_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="weight for client 'bad'"):
+            FairQueue(weights={"bad": 0.0})
+
+    def test_negative_weight_override_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            FairQueue(weights={"ok": 2.0, "bad": -1.5})
+
+    def test_non_numeric_weight_override_rejected(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            FairQueue(weights={"bad": "heavy"})
+
+    def test_valid_overrides_are_normalized_to_floats(self):
+        queue = FairQueue(weights={"gold": 2})
+        assert queue.weight_of("gold") == 2.0
+        assert isinstance(queue.weight_of("gold"), float)
+        assert queue.weight_of("anon") == queue.default_weight
+
+
 class TestFairness:
     def test_burst_does_not_starve_light_client(self):
         queue = FairQueue(max_depth=16)
