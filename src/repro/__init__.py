@@ -79,7 +79,7 @@ from repro.api import (
     sweep,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "GaussianModel",

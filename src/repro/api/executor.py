@@ -518,7 +518,12 @@ class SweepExecutor:
 
             if self.store is not None:
                 for index, spec in pending:
-                    self.store.put(spec, results[index])
+                    try:
+                        self.store.put(spec, results[index])
+                    except OSError:
+                        # Best-effort cache: losing the entry only costs a
+                        # future hit, never the sweep that computed it.
+                        continue
 
         missing = [i for i, result in enumerate(results) if result is None]
         if missing:  # pragma: no cover - defensive; pools propagate errors

@@ -301,7 +301,12 @@ class Session:
         )
         self.points_run += 1
         if store is not None:
-            store.put(spec, result)
+            try:
+                store.put(spec, result)
+            except OSError:
+                # The cache is best-effort: a full/broken disk must not
+                # fail the run that already produced the result.
+                pass
         return result
 
     def render_batch(self, requests: Iterable[RenderRequest]) -> List[RenderResponse]:

@@ -58,6 +58,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.chaos import fault as _chaos_fault
+
 try:  # pragma: no cover - import guard for exotic builds without _posixshmem
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover
@@ -109,6 +111,10 @@ def _attach_segment(name: str) -> "_shared_memory.SharedMemory":
     global _ATTACH_PID
     if _shared_memory is None:  # pragma: no cover - guarded import
         raise SharedMemoryUnavailable("multiprocessing.shared_memory is unavailable")
+    if _chaos_fault("shm.attach_fail") is not None:
+        # Simulated attach failure (e.g. the segment's creator is gone or
+        # /dev/shm is exhausted); callers fall back to inline payloads.
+        raise SharedMemoryUnavailable(f"injected: cannot attach segment {name!r}")
     with _ATTACH_LOCK:
         # A forked child inherits the parent's cache; its SharedMemory
         # objects (fds, mmaps) survive the fork, so inherited entries are

@@ -24,6 +24,7 @@ concurrent or interrupted writers cannot truncate a file mid-read.
 from __future__ import annotations
 
 import contextlib
+import errno
 import hashlib
 import json
 import os
@@ -38,6 +39,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 import repro
 from repro.api.result import ExperimentResult, jsonify
 from repro.api.spec import ExperimentSpec
+from repro.chaos import fault as _chaos_fault
 
 #: Bump when the on-disk entry layout or the spec-hash inputs change; every
 #: existing entry becomes invisible (stale files are overwritten lazily).
@@ -241,6 +243,10 @@ class ResultStore:
         interleave a put with another writer's eviction pass.
         """
         path = self.path(spec)
+        if _chaos_fault("store.enospc") is not None:
+            # Simulated full disk: callers treat the cache as best-effort,
+            # so the request that produced the result still succeeds.
+            raise OSError(errno.ENOSPC, "injected: no space left on device", str(path))
         with advisory_file_lock(self.lock_path):
             atomic_write_json(
                 path,
@@ -252,6 +258,11 @@ class ResultStore:
                     "result": result.to_dict(),
                 },
             )
+            if _chaos_fault("store.corrupt_entry") is not None:
+                # Simulated corruption after the write: the next get()
+                # self-heals the entry back to a miss.
+                text = path.read_text()
+                path.write_text(text[: max(1, len(text) // 2)])
             if self.max_bytes is not None:
                 if self._approx_bytes is not None:
                     try:

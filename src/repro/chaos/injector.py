@@ -1,0 +1,94 @@
+"""The runtime half of chaos: deciding, per call, whether a fault fires.
+
+A :class:`ChaosInjector` is built from a :class:`~repro.chaos.plan.FaultPlan`
+and installed globally (see :mod:`repro.chaos`).  Instrumented code calls
+``chaos.fault("actor.crash")`` at each named fault point; the injector
+keeps a per-point call counter and a per-rule seeded RNG stream, and
+returns the matching :class:`~repro.chaos.plan.FaultRule` when a rule
+fires (``None`` otherwise).  The caller then *enacts* the fault — the
+injector only decides.
+
+Determinism: every probabilistic rule gets its own ``random.Random``
+seeded from ``(plan.seed, rule_index)``, and nth-call rules key off the
+point's call counter, so a fixed plan against a fixed call sequence
+fires identically across runs.  All state is guarded by one lock; the
+hot path when installed is a counter bump plus a few comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Dict, List, Optional, Union
+
+from repro.chaos.plan import FaultPlan, FaultRule
+
+
+class ChaosInjector:
+    """Evaluates a :class:`FaultPlan` against a stream of fault-point calls."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._calls: Dict[str, int] = {}
+        self._fires: Dict[str, int] = {}
+        # Rules grouped by point, each with its own deterministic RNG
+        # stream and fire counter (for max_fires).
+        self._rules_by_point: Dict[str, List[Dict[str, Any]]] = {}
+        for index, rule in enumerate(plan.rules):
+            self._rules_by_point.setdefault(rule.point, []).append(
+                {
+                    "rule": rule,
+                    "rng": random.Random(f"{plan.seed}:{index}:{rule.point}"),
+                    "fires": 0,
+                }
+            )
+
+    def fire(self, point: str) -> Optional[FaultRule]:
+        """Record a call at ``point``; return the rule that fires, if any."""
+        with self._lock:
+            calls = self._calls.get(point, 0) + 1
+            self._calls[point] = calls
+            for entry in self._rules_by_point.get(point, ()):
+                rule: FaultRule = entry["rule"]
+                if rule.max_fires is not None and entry["fires"] >= rule.max_fires:
+                    continue
+                hit = bool(rule.every_nth and calls % rule.every_nth == 0)
+                if not hit and rule.probability:
+                    hit = entry["rng"].random() < rule.probability
+                if hit:
+                    entry["fires"] += 1
+                    self._fires[point] = self._fires.get(point, 0) + 1
+                    return rule
+        return None
+
+    # ------------------------------------------------------------------
+    def fired_points(self) -> List[str]:
+        """Fault points that have actually fired at least once."""
+        with self._lock:
+            return [point for point, count in self._fires.items() if count > 0]
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-point ``{"calls": n, "fires": m}`` counters."""
+        with self._lock:
+            points = set(self._calls) | set(self._fires)
+            return {
+                point: {
+                    "calls": self._calls.get(point, 0),
+                    "fires": self._fires.get(point, 0),
+                }
+                for point in sorted(points)
+            }
+
+
+def build_injector(
+    plan: Union[FaultPlan, Dict[str, Any], None]
+) -> Optional[ChaosInjector]:
+    """An injector from a plan, a plan dict, or ``None`` (chaos off)."""
+    if plan is None:
+        return None
+    if not isinstance(plan, FaultPlan):
+        plan = FaultPlan.from_dict(plan)
+    if not plan.rules:
+        return None
+    return ChaosInjector(plan)

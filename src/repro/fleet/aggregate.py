@@ -44,6 +44,7 @@ def _bucket_stats(outcomes: List[EventOutcome], window_s: float) -> Dict[str, An
         "degraded": sum(1 for o in outcomes if o.degraded),
         "retried": sum(1 for o in outcomes if o.attempts > 1),
         "backoffs": sum(o.backoffs for o in outcomes),
+        "resends": sum(o.resends for o in outcomes),
         "frames": sum(o.frames for o in outcomes if o.ok),
         "throughput_rps": completed / window_s if window_s > 0 else 0.0,
         "p50_s": percentile(latencies, 0.50),

@@ -44,6 +44,8 @@ class EventOutcome:
     degraded: bool = False
     #: Client-side admission-reject resubmissions for this event.
     backoffs: int = 0
+    #: Reconnect-and-resend cycles taken after a severed connection.
+    resends: int = 0
     frames: float = 1.0
 
     @property
@@ -68,6 +70,7 @@ class EventOutcome:
             "attempts": self.attempts,
             "degraded": self.degraded,
             "backoffs": self.backoffs,
+            "resends": self.resends,
             "frames": self.frames,
         }
 
@@ -104,13 +107,16 @@ def _replay_client(
     retries: int,
     max_backoff_s: float,
     timeout: float,
+    reconnect: int,
     sink: List[EventOutcome],
     lock: threading.Lock,
 ) -> None:
     """One synthetic client's replay loop (runs on its own thread)."""
     outcomes: List[EventOutcome] = []
     try:
-        client = ServiceClient.connect(address, client=name, timeout=timeout)
+        client = ServiceClient.connect(
+            address, client=name, timeout=timeout, reconnect=reconnect
+        )
     except OSError as error:
         for event in events:
             outcomes.append(
@@ -128,7 +134,7 @@ def _replay_client(
         return
 
     try:
-        for event in events:
+        for position, event in enumerate(events):
             due = event.at_s / speed
             delay = due - (time.perf_counter() - started_at)
             if delay > 0:
@@ -142,6 +148,7 @@ def _replay_client(
             )
             outcome.started_s = time.perf_counter() - started_at
             backoffs_before = client.backoffs
+            resends_before = client.resends
             try:
                 response = client.submit(
                     event.kind,
@@ -150,12 +157,28 @@ def _replay_client(
                     max_backoff_s=max_backoff_s,
                 )
             except (OSError, ConnectionError) as error:
+                # The connection is gone past the reconnect budget.  Record
+                # this event AND the client's remaining tail as terminal
+                # outcomes so every trace event is accounted for.
                 outcome.finished_s = time.perf_counter() - started_at
+                outcome.resends = client.resends - resends_before
                 outcome.code = f"transport_error:{type(error).__name__}"
                 outcomes.append(outcome)
-                break  # the connection is gone; drop this client's tail
+                for lost in events[position + 1 :]:
+                    outcomes.append(
+                        EventOutcome(
+                            client=name,
+                            klass=lost.klass,
+                            kind=lost.kind,
+                            scheduled_s=lost.at_s / speed,
+                            code="connection_lost",
+                            frames=lost.frames,
+                        )
+                    )
+                break
             outcome.finished_s = time.perf_counter() - started_at
             outcome.backoffs = client.backoffs - backoffs_before
+            outcome.resends = client.resends - resends_before
             outcome.ok = bool(response.ok)
             outcome.code = response.code
             meta = response.meta or {}
@@ -178,6 +201,7 @@ def replay_trace(
     retries: int = 5,
     max_backoff_s: float = 2.0,
     timeout: float = 300.0,
+    reconnect: int = 1,
     scrape_metrics: bool = True,
 ) -> ReplayReport:
     """Replay ``trace`` against the daemon at ``address``.
@@ -205,6 +229,7 @@ def replay_trace(
                 retries,
                 max_backoff_s,
                 timeout,
+                reconnect,
                 sink,
                 lock,
             ),

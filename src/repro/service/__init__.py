@@ -24,14 +24,26 @@ daemon modeled on a proactor/actor runtime:
   asyncio server, dispatcher, overload degradation (auto-downshifted
   ``resolution_scale`` under queue pressure, surfaced in the response) and
   the live telemetry snapshot behind ``/metrics``.
+* :mod:`repro.service.breaker` — :class:`CircuitBreaker`: per-work-kind
+  closed/open/half-open circuit over repeated worker crashes, gating
+  admission so a poisoned request class cannot burn the fleet.
 * :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
-  client used by the examples, benchmarks and CI smoke.
+  client used by the examples, benchmarks and CI smoke; mints stable
+  idempotency keys and reconnects-and-resends on connection loss.
+
+Failure is a first-class input: the daemon threads named
+:mod:`repro.chaos` fault points through transport, actors, persistence
+and shm (``ServiceConfig.chaos`` / ``repro-serve --chaos-plan``), and
+the hardening they exercise — end-to-end deadlines, idempotent resends,
+wedged-actor quarantine, circuit breaking — surfaces through the
+``/healthz`` state machine (``healthy`` / ``degraded`` / ``critical``).
 * :mod:`repro.service.cli` — the ``repro-serve`` console entry point
   (also reachable as ``python -m repro.service.cli`` and
   ``python -m repro.analysis.runner serve``).
 """
 
-from repro.service.client import ServiceClient
+from repro.service.breaker import CircuitBreaker
+from repro.service.client import ServiceClient, ServiceConnectionError, ServiceError
 from repro.service.daemon import DaemonHandle, ServiceConfig, ServiceDaemon
 from repro.service.protocol import (
     ProtocolError,
@@ -43,6 +55,7 @@ from repro.service.queueing import FairQueue, QueueFull
 from repro.service.supervisor import Journal, Supervisor
 
 __all__ = [
+    "CircuitBreaker",
     "DaemonHandle",
     "FairQueue",
     "Journal",
@@ -51,7 +64,9 @@ __all__ = [
     "REQUEST_KINDS",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceConnectionError",
     "ServiceDaemon",
+    "ServiceError",
     "ServiceRequest",
     "ServiceResponse",
     "Supervisor",

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro import chaos
 from repro.service.protocol import ServiceRequest, ServiceResponse, error_response
 
 #: Floor of overload-degraded resolution scales; below this the simulated
@@ -55,6 +56,9 @@ class RequestRecord:
     done: bool = False
     #: True when the record was resumed from the journal (no live client).
     resumed: bool = False
+    #: Absolute monotonic deadline computed at admission from the
+    #: request's relative ``deadline_s``; ``None`` means no deadline.
+    deadline_at: Optional[float] = None
 
 
 def _image_checksum(image: Any) -> str:
@@ -79,6 +83,14 @@ def execute_request(
     requests (the daemon surfaces the latest one in ``/metrics``).
     """
     request = record.request
+    if record.deadline_at is not None and time.monotonic() >= record.deadline_at:
+        # The deadline passed between dispatch and execution; starting the
+        # work now would only burn an actor on a response nobody wants.
+        return error_response(
+            "deadline_exceeded",
+            f"request {request.id} passed its deadline before execution",
+            request_id=request.id,
+        )
     payload = dict(request.payload)
     try:
         result = _execute(session, request.kind, payload, on_execution)
@@ -223,6 +235,12 @@ class WorkerActor(threading.Thread):
         self.crashed = False
         self.stopped = False
         self.tasks_done = 0
+        #: Supervisor bookkeeping: the current stall incident has been
+        #: counted/logged (reset when the heartbeat recovers).
+        self.stall_flagged = False
+        #: Wedged beyond the quarantine threshold: replaced in the fleet,
+        #: excluded from dispatch, poisoned when it finally completes.
+        self.quarantined = False
 
     # ------------------------------------------------------------------
     def submit(self, record: RequestRecord) -> None:
@@ -263,6 +281,17 @@ class WorkerActor(threading.Thread):
                     # supervisor restarts us and re-enqueues the record.
                     self.crashed = True
                     return
+                if chaos.fault("actor.crash") is not None:
+                    self.crashed = True
+                    return
+                hang = chaos.fault("actor.hang")
+                if hang is not None:
+                    # Wedge without heartbeats: the watchdog sees a stall
+                    # and, past the quarantine threshold, replaces us.
+                    time.sleep(hang.delay_s)
+                slow = chaos.fault("actor.slow_render")
+                if slow is not None:
+                    time.sleep(slow.delay_s)
                 response = execute_request(
                     self.session, record, on_execution=self._on_execution
                 )
@@ -290,6 +319,7 @@ class WorkerActor(threading.Thread):
             "alive": self.is_alive(),
             "busy": self.busy,
             "crashed": self.crashed,
+            "quarantined": self.quarantined,
             "tasks_done": self.tasks_done,
             "heartbeat_age_s": round(self.heartbeat_age(), 3),
         }

@@ -12,6 +12,7 @@ import signal
 import sys
 from typing import List, Optional
 
+from repro.chaos import FaultPlan
 from repro.service.daemon import ServiceConfig, ServiceDaemon
 
 
@@ -84,6 +85,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=WEIGHT",
         help="fair-queue weight override (repeatable)",
     )
+    parser.add_argument(
+        "--quarantine-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wedged-actor quarantine threshold (default: 4x heartbeat timeout)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive worker crashes per kind before the circuit opens",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how long an open circuit rejects a kind before probing",
+    )
+    parser.add_argument(
+        "--chaos-plan",
+        default=None,
+        metavar="JSON_OR_PATH",
+        help=(
+            "seeded fault-injection plan: a JSON object or a path to one "
+            "(testing only; see repro.chaos.FAULT_POINTS)"
+        ),
+    )
     return parser
 
 
@@ -105,6 +135,12 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
                 "(a non-positive fair-queue weight would starve the client)"
             )
         weights[name] = weight
+    chaos_plan = None
+    if args.chaos_plan:
+        try:
+            chaos_plan = FaultPlan.parse(args.chaos_plan)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"bad --chaos-plan: {error}") from None
     return ServiceConfig(
         host=args.host,
         port=args.port,
@@ -119,6 +155,10 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         seed=args.seed,
         sweep_jobs=args.sweep_jobs,
         client_weights=weights,
+        quarantine_after_s=args.quarantine_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        chaos=chaos_plan,
     )
 
 

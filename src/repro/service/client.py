@@ -7,17 +7,31 @@ smoke drive the daemon from plain scripts and threads; concurrency comes
 from multiple clients, matching how the daemon schedules fairness.
 
 ``submit`` optionally retries admission rejects: a ``queue_full`` /
-``draining`` response carries ``retry_after_s``, and with
-``retries > 0`` the client sleeps that hint (bounded) and resubmits.
+``draining`` / ``circuit_open`` response carries ``retry_after_s``, and
+with ``retries > 0`` the client sleeps that hint (bounded) and resubmits
+**under the same request id** — one logical request keeps one id across
+every admission retry, so the daemon's journal and metrics see a single
+request.
+
+The id doubles as an idempotency key: on a mid-request connection loss
+the client (when built via :meth:`ServiceClient.connect`) transparently
+reconnects and resends the same request up to ``reconnect`` times, and
+the daemon answers resends of completed work from its response cache —
+a dropped response never causes a double render.  When the budget is
+exhausted a typed :class:`ServiceConnectionError` carrying the request
+id is raised and the connection is marked dead (subsequent calls fail
+fast instead of hanging on a desynchronized stream).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import socket
 import time
 import urllib.request
+import uuid
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.service.protocol import (
@@ -67,6 +81,19 @@ class ServiceError(RuntimeError):
         super().__init__(f"[{response.code or 'error'}] {response.error}")
 
 
+class ServiceConnectionError(ConnectionError):
+    """The connection died mid-request and could not be restored.
+
+    Carries the in-flight request's id so the caller can resubmit it
+    under the same idempotency key (the daemon deduplicates by id).
+    """
+
+    def __init__(self, message: str, request_id: str = "", client: str = "") -> None:
+        self.request_id = request_id
+        self.client = client
+        super().__init__(message)
+
+
 class ServiceClient:
     """One connection to a running :class:`~repro.service.daemon.ServiceDaemon`.
 
@@ -81,17 +108,49 @@ class ServiceClient:
         sock: socket.socket,
         client: str = "anon",
         timeout: float = 60.0,
+        reconnect: int = 1,
     ) -> None:
         self._sock = sock
         self._sock.settimeout(timeout)
         self._file = sock.makefile("rb")
         self.client = client
         self.timeout = timeout
+        #: Reconnect-and-resend budget per request; effective only when
+        #: the client knows its address (built via :meth:`connect`).
+        self.reconnect = max(0, int(reconnect))
         self.requests_sent = 0
         #: Admission rejects this client slept through and resubmitted.
         self.backoffs = 0
+        #: Requests resent over a fresh connection after a mid-request
+        #: connection loss (served idempotently by the daemon).
+        self.resends = 0
+        self._address: Optional[Tuple[str, ...]] = None
+        self._connect_timeout = 5.0
+        self._dead = False
+        #: Stable token making this client instance's request ids unique
+        #: across processes and reconnects.
+        self._token = f"{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+        self._serial = 0
+
+    def _next_id(self) -> str:
+        """Mint one idempotency key per *logical* request."""
+        self._serial += 1
+        return f"{self.client}-{self._token}-{self._serial:x}"
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _open_socket(address: Tuple[str, ...], connect_timeout: float) -> socket.socket:
+        if address[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(connect_timeout)
+            sock.connect(address[1])
+            return sock
+        if address[0] == "tcp":
+            return socket.create_connection(
+                (address[1], int(address[2])), timeout=connect_timeout
+            )
+        raise ValueError(f"unknown address scheme {address[0]!r}")
+
     @classmethod
     def connect(
         cls,
@@ -99,22 +158,37 @@ class ServiceClient:
         client: str = "anon",
         timeout: float = 60.0,
         connect_timeout: float = 5.0,
+        reconnect: int = 1,
     ) -> "ServiceClient":
         """Open a connection to ``("tcp", host, port)`` or ``("unix", path)``."""
         address = tuple(address)
-        if address[0] == "unix":
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(connect_timeout)
-            sock.connect(address[1])
-        elif address[0] == "tcp":
-            sock = socket.create_connection(
-                (address[1], int(address[2])), timeout=connect_timeout
-            )
-        else:
-            raise ValueError(f"unknown address scheme {address[0]!r}")
-        return cls(sock, client=client, timeout=timeout)
+        sock = cls._open_socket(address, connect_timeout)
+        instance = cls(sock, client=client, timeout=timeout, reconnect=reconnect)
+        instance._address = address
+        instance._connect_timeout = connect_timeout
+        return instance
+
+    def _mark_dead(self) -> None:
+        self._dead = True
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+
+    def _reconnect(self) -> None:
+        assert self._address is not None
+        sock = self._open_socket(self._address, self._connect_timeout)
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self._dead = False
 
     def close(self) -> None:
+        self._dead = True
         try:
             self._file.close()
         finally:
@@ -134,19 +208,35 @@ class ServiceClient:
         retries: int = 0,
         max_backoff_s: float = 5.0,
         raise_on_error: bool = False,
+        deadline_s: Optional[float] = None,
     ) -> ServiceResponse:
         """Send one request and block for its response.
 
         With ``retries > 0``, admission rejects (``queue_full`` /
-        ``draining``) are retried after the daemon's ``retry_after_s``
-        hint plus bounded jitter (see :func:`backoff_delay`; the sleep is
-        capped at ``max_backoff_s`` and a ``0.0`` hint is honored).  Other
-        failures are returned (or raised) as-is.
+        ``draining`` / ``circuit_open``) are retried after the daemon's
+        ``retry_after_s`` hint plus bounded jitter (see
+        :func:`backoff_delay`; the sleep is capped at ``max_backoff_s``
+        and a ``0.0`` hint is honored).  Every retry reuses the id minted
+        for the logical request, so the daemon sees one request no matter
+        how many resubmissions it took.  ``deadline_s`` propagates an
+        end-to-end deadline the daemon enforces before and at dispatch.
+        Other failures are returned (or raised) as-is.
         """
+        request = ServiceRequest(
+            kind=kind,
+            payload=payload or {},
+            client=self.client,
+            id=self._next_id(),
+            deadline_s=deadline_s,
+        )
         attempts_left = max(0, int(retries))
         while True:
-            response = self._roundtrip(kind, payload or {})
-            if response.ok or response.code not in ("queue_full", "draining"):
+            response = self._roundtrip(request)
+            if response.ok or response.code not in (
+                "queue_full",
+                "draining",
+                "circuit_open",
+            ):
                 if not response.ok and raise_on_error:
                     raise ServiceError(response)
                 return response
@@ -158,16 +248,51 @@ class ServiceClient:
             self.backoffs += 1
             time.sleep(backoff_delay(response.retry_after_s, max_backoff_s))
 
-    def _roundtrip(self, kind: str, payload: Dict[str, Any]) -> ServiceResponse:
-        request = ServiceRequest(kind=kind, payload=payload, client=self.client)
-        self._sock.sendall(encode_message(request.to_wire()))
-        self.requests_sent += 1
-        line = self._file.readline(MAX_MESSAGE_BYTES + 2)
-        if not line:
-            raise ConnectionError("service connection closed mid-request")
-        message = decode_message(line)
-        response = ServiceResponse.from_wire(message)
-        return response
+    def _roundtrip(self, request: ServiceRequest) -> ServiceResponse:
+        """One request/response exchange, surviving connection loss.
+
+        A send/receive failure (including a torn response line) marks
+        the connection dead; with a known address and budget left the
+        client reconnects and resends the *same* request — the daemon's
+        idempotency cache guarantees at-most-once execution.  Beyond the
+        budget a :class:`ServiceConnectionError` carrying the request id
+        is raised, and later calls fail fast until a reconnect succeeds.
+        """
+        resends_left = self.reconnect if self._address is not None else 0
+        while True:
+            try:
+                if self._dead:
+                    raise ConnectionError("connection previously failed")
+                self._sock.sendall(encode_message(request.to_wire()))
+                self.requests_sent += 1
+                line = self._file.readline(MAX_MESSAGE_BYTES + 2)
+                if not line or not line.endswith(b"\n"):
+                    # Empty = clean EOF; no newline = torn frame.  Either
+                    # way the stream is unusable mid-request.
+                    raise ConnectionError("service connection closed mid-request")
+                return ServiceResponse.from_wire(decode_message(line))
+            except (ConnectionError, OSError) as error:
+                # socket.timeout is an OSError: a timed-out stream is
+                # desynchronized, so it is treated as dead too.
+                self._mark_dead()
+                if resends_left <= 0:
+                    raise ServiceConnectionError(
+                        f"service connection lost during request "
+                        f"{request.id or '<unassigned>'}: {error}",
+                        request_id=request.id,
+                        client=self.client,
+                    ) from error
+                resends_left -= 1
+                try:
+                    self._reconnect()
+                except OSError as reconnect_error:
+                    raise ServiceConnectionError(
+                        f"reconnect failed during request {request.id}: "
+                        f"{reconnect_error}",
+                        request_id=request.id,
+                        client=self.client,
+                    ) from reconnect_error
+                self.resends += 1
 
     # ------------------------------------------------------------------
     # convenience wrappers
@@ -193,6 +318,7 @@ class ServiceClient:
         voxel_size: Optional[float] = None,
         resolution_scale: float = 1.0,
         retries: int = 0,
+        deadline_s: Optional[float] = None,
         **extra: Any,
     ) -> ServiceResponse:
         payload: Dict[str, Any] = {
@@ -203,13 +329,14 @@ class ServiceClient:
         if voxel_size is not None:
             payload["voxel_size"] = voxel_size
         payload.update(extra)
-        return self.submit("render", payload, retries=retries)
+        return self.submit("render", payload, retries=retries, deadline_s=deadline_s)
 
     def sweep(
         self,
         base: Optional[Dict[str, Any]] = None,
         grid: Optional[Dict[str, Any]] = None,
         retries: int = 0,
+        deadline_s: Optional[float] = None,
         **grid_kwargs: Any,
     ) -> ServiceResponse:
         merged = dict(grid or {})
@@ -217,12 +344,13 @@ class ServiceClient:
         payload: Dict[str, Any] = {"grid": merged}
         if base:
             payload["base"] = base
-        return self.submit("sweep", payload, retries=retries)
+        return self.submit("sweep", payload, retries=retries, deadline_s=deadline_s)
 
     def trajectory(
         self,
         spec: Any = None,
         retries: int = 0,
+        deadline_s: Optional[float] = None,
         **spec_fields: Any,
     ) -> ServiceResponse:
         """Submit a trajectory workload.
@@ -243,13 +371,22 @@ class ServiceClient:
         else:
             payload_spec = dict(spec)
             payload_spec.update(spec_fields)
-        return self.submit("trajectory", {"spec": payload_spec}, retries=retries)
+        return self.submit(
+            "trajectory", {"spec": payload_spec}, retries=retries, deadline_s=deadline_s
+        )
 
     def experiment(
-        self, name: str, retries: int = 0, **options: Any
+        self,
+        name: str,
+        retries: int = 0,
+        deadline_s: Optional[float] = None,
+        **options: Any,
     ) -> ServiceResponse:
         return self.submit(
-            "experiment", {"name": name, "options": options}, retries=retries
+            "experiment",
+            {"name": name, "options": options},
+            retries=retries,
+            deadline_s=deadline_s,
         )
 
 

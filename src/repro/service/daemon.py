@@ -33,15 +33,18 @@ import asyncio
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import chaos
 from repro.api.result import jsonify
 from repro.api.session import Session
 from repro.api.store import ResultStore
 from repro.engine.service import RenderService
 from repro.service.actors import MIN_RESOLUTION_SCALE, RequestRecord, WorkerActor
+from repro.service.breaker import CircuitBreaker
 from repro.service.protocol import (
     CONTROL_KINDS,
     MAX_MESSAGE_BYTES,
@@ -97,6 +100,23 @@ class ServiceConfig:
         Fair-queue weight overrides per client name.
     drain_timeout_s:
         Upper bound on waiting for in-flight work at graceful shutdown.
+    quarantine_after_s:
+        A busy actor heartbeat-silent beyond this is quarantined (slot
+        replaced, wedged thread excluded from dispatch); ``None``
+        defaults to 4x ``heartbeat_timeout_s``.
+    breaker_threshold / breaker_cooldown_s:
+        Per-work-kind circuit breaker: after ``breaker_threshold``
+        consecutive worker crashes executing one kind, that kind is
+        rejected with ``circuit_open`` for ``breaker_cooldown_s``, then
+        probed half-open.
+    response_cache_size:
+        Completed responses remembered by request id (LRU) so a client
+        resend after connection loss is answered from cache instead of
+        re-rendered.
+    chaos:
+        A :class:`~repro.chaos.plan.FaultPlan` (or its dict form)
+        installed for the daemon's lifetime; ``None`` disables fault
+        injection entirely (the hooks are a single global read).
     """
 
     host: str = "127.0.0.1"
@@ -116,6 +136,11 @@ class ServiceConfig:
     sweep_jobs: int = 1
     client_weights: Dict[str, float] = field(default_factory=dict)
     drain_timeout_s: float = 30.0
+    quarantine_after_s: Optional[float] = None
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    response_cache_size: int = 256
+    chaos: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -134,6 +159,24 @@ class ServiceConfig:
             raise ValueError(f"degrade_depth must be >= 0, got {self.degrade_depth}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.quarantine_after_s is None:
+            self.quarantine_after_s = 4.0 * self.heartbeat_timeout_s
+        if self.quarantine_after_s <= 0:
+            raise ValueError(
+                f"quarantine_after_s must be > 0, got {self.quarantine_after_s}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be > 0, got {self.breaker_cooldown_s}"
+            )
+        if self.response_cache_size < 1:
+            raise ValueError(
+                f"response_cache_size must be >= 1, got {self.response_cache_size}"
+            )
 
 
 class DaemonHandle:
@@ -149,11 +192,13 @@ class DaemonHandle:
         assert self.daemon.address is not None, "daemon is not listening yet"
         return self.daemon.address
 
-    def client(self, client: str = "anon", timeout: float = 60.0):
+    def client(self, client: str = "anon", timeout: float = 60.0, reconnect: int = 1):
         """A connected :class:`~repro.service.client.ServiceClient`."""
         from repro.service.client import ServiceClient
 
-        return ServiceClient.connect(self.address, client=client, timeout=timeout)
+        return ServiceClient.connect(
+            self.address, client=client, timeout=timeout, reconnect=reconnect
+        )
 
     def stop(self, drain: bool = True) -> None:
         """Ask the daemon to shut down (optionally draining the queue)."""
@@ -187,8 +232,17 @@ class ServiceDaemon:
             interval=self.config.supervisor_interval_s,
             max_retries=self.config.max_retries,
             heartbeat_timeout=self.config.heartbeat_timeout_s,
+            quarantine_after=self.config.quarantine_after_s,
         )
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self.chaos_injector = chaos.build_injector(self.config.chaos)
         self.actors: List[WorkerActor] = []
+        #: Wedged actors replaced in the fleet, still running outside
+        #: dispatch; poisoned (and dropped) when they finally complete.
+        self.quarantined_actors: List[WorkerActor] = []
         self.events: List[Dict[str, Any]] = []
         self.last_execution: Optional[Dict[str, Any]] = None
         self.address: Optional[Tuple[str, ...]] = None
@@ -200,12 +254,21 @@ class ServiceDaemon:
             "completed": 0,
             "failed": 0,
             "timeouts": 0,
+            "deadline_exceeded": 0,
+            "breaker_rejected": 0,
+            "resends_served": 0,
             "degraded": 0,
             "resumed": 0,
             "abandoned": 0,
         }
         self.per_client: Dict[str, Dict[str, int]] = {}
         self.per_kind: Dict[str, Dict[str, int]] = {}
+        #: Completed responses by request id (LRU): resends after a
+        #: connection loss are answered here instead of re-executed.
+        self._responses: "OrderedDict[str, ServiceResponse]" = OrderedDict()
+        #: Live (queued or in-flight) records by request id: a resend of
+        #: an unfinished request joins the existing future.
+        self._pending: Dict[str, RequestRecord] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -277,21 +340,62 @@ class ServiceDaemon:
         self.journal.discard(record.request.id)
         if record.dispatched_at:
             self._note_service_time(time.monotonic() - record.dispatched_at)
+        # Any response from a live actor proves the kind executes without
+        # crashing the worker (an evaluation failure is not a crash).
+        self.breaker.record_success(record.request.kind)
         if record.done:
             # The response side already moved on (timeout); the work is
             # finished and cached where possible, the client reply is not.
+            # Remember the real response anyway: a late resend by id gets
+            # the result instead of the stale timeout.
             self.metrics["abandoned"] += 1
+            self._remember_response(record, response)
         else:
             record.done = True
             outcome = "completed" if response.ok else "failed"
             self.metrics[outcome] += 1
+            if response.code == "deadline_exceeded":
+                self.metrics["deadline_exceeded"] += 1
             self._client_counter(record.request.client, outcome)
             self._kind_counter(record.request.kind, outcome)
+            self._remember_response(record, response)
             if not record.future.done():
                 record.future.set_result(response)
-        if actor.is_alive() and not actor.crashed and not actor.stopped:
+        if actor.quarantined:
+            # The wedged thread finally completed; it is not in the fleet
+            # anymore (a replacement holds its slot), so retire it.
+            actor.stop()
+            if actor in self.quarantined_actors:
+                self.quarantined_actors.remove(actor)
+            self.log_event("actor_unquarantined", actor=actor.name)
+        elif actor.is_alive() and not actor.crashed and not actor.stopped:
             assert self._idle is not None
             self._idle.put_nowait(actor)
+
+    def _remember_response(
+        self, record: RequestRecord, response: ServiceResponse
+    ) -> None:
+        """Terminal bookkeeping: drop from pending, cache by id (LRU)."""
+        request_id = record.request.id
+        self._pending.pop(request_id, None)
+        if not request_id:  # pragma: no cover - ids are always assigned
+            return
+        self._responses[request_id] = response
+        self._responses.move_to_end(request_id)
+        while len(self._responses) > self.config.response_cache_size:
+            self._responses.popitem(last=False)
+
+    def quarantine_actor(self, position: int, actor: WorkerActor) -> None:
+        """Replace a wedged actor's fleet slot (supervisor path).
+
+        The stuck thread cannot be killed; it keeps running outside the
+        fleet list so the dispatcher never hands it work again, and its
+        eventual completion (handled in :meth:`_finish`) retires it.  The
+        replacement restores dispatch capacity immediately.
+        """
+        actor.quarantined = True
+        self.quarantined_actors.append(actor)
+        self.spawn_actor(position)
 
     def settle_crashed(self, record: RequestRecord) -> None:
         """Close dispatch accounting of a record whose actor died."""
@@ -311,6 +415,7 @@ class ServiceDaemon:
         self.metrics["failed"] += 1
         self._client_counter(record.request.client, "failed")
         self._kind_counter(record.request.kind, "failed")
+        self._remember_response(record, response)
         if not record.future.done():
             record.future.set_result(response)
 
@@ -381,9 +486,35 @@ class ServiceDaemon:
                     # Timed out while queued; nothing left to run.
                     self.journal.discard(record.request.id)
                     continue
+                if (
+                    record.deadline_at is not None
+                    and time.monotonic() >= record.deadline_at
+                ):
+                    # Shed before dispatch: the deadline passed while the
+                    # record sat in the queue, so running it would waste
+                    # an actor on an answer nobody is waiting for.
+                    self._expire_record(record)
+                    continue
                 return record
             self._queue_event.clear()
             await self._queue_event.wait()
+
+    def _expire_record(self, record: RequestRecord) -> None:
+        """Resolve a queued record whose deadline passed (never dispatched)."""
+        record.done = True
+        self.metrics["deadline_exceeded"] += 1
+        self._client_counter(record.request.client, "failed")
+        self._kind_counter(record.request.kind, "failed")
+        self.journal.discard(record.request.id)
+        response = error_response(
+            "deadline_exceeded",
+            f"request {record.request.id} spent its deadline queued "
+            "and was shed before dispatch",
+            request_id=record.request.id,
+        )
+        self._remember_response(record, response)
+        if not record.future.done():
+            record.future.set_result(response)
 
     def _apply_degradation(self, record: RequestRecord) -> None:
         """Downshift render fidelity when the backlog is deep.
@@ -460,13 +591,37 @@ class ServiceDaemon:
             future=self._loop.create_future(),
             accepted_at=now(),
         )
-        self.queue.push(request.client, record, cost=self._cost_of(request))
+        if request.deadline_s is not None:
+            record.deadline_at = time.monotonic() + request.deadline_s
+        try:
+            self.queue.push(request.client, record, cost=self._cost_of(request))
+        except QueueFull:
+            # Before refusing, evict dead weight: records that expired or
+            # were abandoned while queued hold slots but will never run.
+            if not self._shed_expired():
+                raise
+            self.queue.push(request.client, record, cost=self._cost_of(request))
+        self._pending[request.id] = record
         self.journal.record(request, accepted_at=record.accepted_at)
         self.metrics["accepted"] += 1
         self._client_counter(request.client, "accepted")
         self._kind_counter(request.kind, "accepted")
         self._wake_dispatcher()
         return record
+
+    def _shed_expired(self) -> int:
+        """Evict expired/done records from the queue; returns the count."""
+        horizon = time.monotonic()
+        shed = self.queue.shed(
+            lambda record: record.done
+            or (record.deadline_at is not None and horizon >= record.deadline_at)
+        )
+        for record in shed:
+            if not record.done:
+                self._expire_record(record)
+            else:
+                self.journal.discard(record.request.id)
+        return len(shed)
 
     @staticmethod
     def _cost_of(request: ServiceRequest) -> float:
@@ -528,20 +683,76 @@ class ServiceDaemon:
             await self._write_response(writer, error_response("bad_request", str(error)))
             return False
         response = await self.handle_request(request)
-        await self._write_response(writer, response)
-        return request.kind == "shutdown"
+        severed = await self._write_response(
+            writer, response, faultable=request.kind in WORK_KINDS
+        )
+        return severed or request.kind == "shutdown"
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, response: ServiceResponse
-    ) -> None:
-        writer.write(encode_message(jsonify(response.to_wire())))
+        self,
+        writer: asyncio.StreamWriter,
+        response: ServiceResponse,
+        faultable: bool = False,
+    ) -> bool:
+        """Write one response frame; returns True if the connection was
+        (deliberately) severed by an injected transport fault.
+
+        Only work responses are faultable — failing control/HTTP answers
+        would test the scraper, not the retry path.
+        """
+        frame = encode_message(jsonify(response.to_wire()))
+        if faultable:
+            slow = chaos.fault("transport.slow_write")
+            if slow is not None:
+                await asyncio.sleep(slow.delay_s)
+            if chaos.fault("transport.drop_response") is not None:
+                self.log_event("chaos_drop_response", id=response.id)
+                return True
+            if chaos.fault("transport.partial_write") is not None:
+                self.log_event("chaos_partial_write", id=response.id)
+                writer.write(frame[: max(1, len(frame) // 2)])
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                    pass
+                return True
+        writer.write(frame)
         await writer.drain()
+        return False
 
     async def handle_request(self, request: ServiceRequest) -> ServiceResponse:
-        """Route one request: control inline, work through the queue."""
+        """Route one request: control inline, work through the queue.
+
+        Work requests carrying a client-minted id are idempotent: a
+        resend of a completed request is answered from the response
+        cache, and a resend of a still-running request joins the
+        existing record's future — connection loss between response and
+        client never causes double execution.
+        """
         if request.kind in CONTROL_KINDS:
             return self._handle_control(request)
         assert request.kind in WORK_KINDS
+        if request.id:
+            cached = self._responses.get(request.id)
+            if cached is not None:
+                self.metrics["resends_served"] += 1
+                self._responses.move_to_end(request.id)
+                return cached
+            pending = self._pending.get(request.id)
+            if pending is not None:
+                self.metrics["resends_served"] += 1
+                return await self._await_record(pending)
+        allowed, retry_after = self.breaker.allow(request.kind)
+        if not allowed:
+            self.metrics["breaker_rejected"] += 1
+            self._client_counter(request.client, "rejected")
+            return error_response(
+                "circuit_open",
+                f"circuit for kind {request.kind!r} is open after repeated "
+                "worker crashes; retry later",
+                request_id=request.id,
+                retry_after_s=retry_after,
+            )
         try:
             record = self.admit(request)
         except QueueFull as full:
@@ -561,21 +772,46 @@ class ServiceDaemon:
                 request_id=request.id,
                 retry_after_s=1.0,
             )
+        return await self._await_record(record)
+
+    async def _await_record(self, record: RequestRecord) -> ServiceResponse:
+        """Wait for a record's terminal response, bounded by timeout/deadline."""
+        timeout = self.config.request_timeout_s
+        deadline_bound = False
+        if record.deadline_at is not None:
+            remaining = record.deadline_at - time.monotonic()
+            if remaining < timeout:
+                timeout = max(0.0, remaining)
+                deadline_bound = True
         try:
-            response = await asyncio.wait_for(
-                asyncio.shield(record.future), timeout=self.config.request_timeout_s
+            return await asyncio.wait_for(
+                asyncio.shield(record.future), timeout=timeout
             )
         except asyncio.TimeoutError:
-            record.done = True
-            self.metrics["timeouts"] += 1
-            self.journal.discard(record.request.id)
-            return error_response(
-                "timeout",
-                f"request {record.request.id} exceeded "
-                f"{self.config.request_timeout_s}s",
-                request_id=record.request.id,
-            )
-        return response
+            if deadline_bound:
+                response = error_response(
+                    "deadline_exceeded",
+                    f"request {record.request.id} missed its "
+                    f"{record.request.deadline_s}s deadline",
+                    request_id=record.request.id,
+                )
+                metric = "deadline_exceeded"
+            else:
+                response = error_response(
+                    "timeout",
+                    f"request {record.request.id} exceeded "
+                    f"{self.config.request_timeout_s}s",
+                    request_id=record.request.id,
+                )
+                metric = "timeouts"
+            if not record.done:
+                # First awaiter to give up does the bookkeeping; a joined
+                # resend arriving later just gets the same response.
+                record.done = True
+                self.metrics[metric] += 1
+                self.journal.discard(record.request.id)
+                self._remember_response(record, response)
+            return response
 
     def _handle_control(self, request: ServiceRequest) -> ServiceResponse:
         if request.kind == "ping":
@@ -620,7 +856,7 @@ class ServiceDaemon:
         path = path.split("?", 1)[0]
         if path == "/healthz":
             status, body = 200, self.healthz()
-            if body["status"] == "down":
+            if body["status"] == "critical":
                 status = 503
         elif path == "/metrics":
             status, body = 200, self.metrics_snapshot()
@@ -646,21 +882,36 @@ class ServiceDaemon:
         return round(time.monotonic() - self.started_at, 3)
 
     def healthz(self) -> Dict[str, Any]:
-        """Liveness summary: ok / draining / down."""
+        """Liveness state machine: healthy / degraded / critical.
+
+        * **critical** — no live actor at all: the daemon cannot serve
+          work (HTTP shim answers 503).
+        * **degraded** — serving, but impaired: draining for shutdown, a
+          quarantined actor is still wedged, or a circuit breaker has a
+          work kind open.
+        * **healthy** — full capacity, all circuits closed.
+        """
         alive = sum(1 for actor in self.actors if actor.is_alive())
+        quarantined = sum(
+            1 for actor in self.quarantined_actors if actor.is_alive()
+        )
+        open_kinds = self.breaker.open_kinds()
         if alive == 0 and self.actors:
-            status = "down"
-        elif self.draining:
-            status = "draining"
+            status = "critical"
+        elif self.draining or quarantined or open_kinds:
+            status = "degraded"
         else:
-            status = "ok"
+            status = "healthy"
         return {
             "status": status,
+            "draining": self.draining,
             "uptime_s": self.uptime(),
             "queue_depth": len(self.queue),
             "in_flight": self._in_flight,
             "actors_alive": alive,
             "actors_total": len(self.actors),
+            "quarantined": quarantined,
+            "breaker_open_kinds": open_kinds,
             "restarts": self.supervisor.restarts,
         }
 
@@ -679,7 +930,20 @@ class ServiceDaemon:
             "kinds": {name: dict(c) for name, c in self.per_kind.items()},
             "retry_after_s": self.retry_after_estimate(),
             "actors": [actor.snapshot() for actor in self.actors],
+            "quarantined_actors": [
+                actor.snapshot() for actor in self.quarantined_actors
+            ],
             "supervision": self.supervisor.stats(),
+            "breaker": self.breaker.stats(),
+            "response_cache": {
+                "size": len(self._responses),
+                "capacity": self.config.response_cache_size,
+            },
+            "chaos": (
+                self.chaos_injector.stats()
+                if self.chaos_injector is not None
+                else None
+            ),
             "events": list(self.events[-20:]),
             "execution": self.last_execution,
             "engine": self.service.stats(),
@@ -728,6 +992,9 @@ class ServiceDaemon:
             except QueueFull:  # pragma: no cover - journal larger than queue
                 self.journal.discard(request.id)
                 continue
+            # A reconnecting client resending the same id joins the
+            # resumed record instead of duplicating the work.
+            self._pending[request.id] = record
             resumed += 1
         if resumed:
             self.metrics["resumed"] += resumed
@@ -741,6 +1008,14 @@ class ServiceDaemon:
         self._queue_event = asyncio.Event()
         self._idle = asyncio.Queue()
         self.started_at = time.monotonic()
+        if self.chaos_injector is not None:
+            chaos.install(self.chaos_injector)
+            self.log_event(
+                "chaos_installed",
+                seed=self.chaos_injector.plan.seed,
+                rules=len(self.chaos_injector.plan),
+                points=self.chaos_injector.plan.points(),
+            )
         for _ in range(self.config.workers):
             self.spawn_actor()
         self._resume_journal()
@@ -783,6 +1058,9 @@ class ServiceDaemon:
                     os.unlink(self.config.unix_path)
                 except OSError:
                     pass
+            if self.chaos_injector is not None:
+                # Identity-guarded: never clobber a newer daemon's injector.
+                chaos.uninstall(expected=self.chaos_injector)
             self.log_event("daemon_stopped", drained=self._drain_on_stop)
 
     async def _drain(self, deadline: float) -> None:
@@ -791,10 +1069,11 @@ class ServiceDaemon:
             await asyncio.sleep(0.02)
 
     def _shutdown_actors(self) -> None:
-        for actor in self.actors:
+        fleet = self.actors + self.quarantined_actors
+        for actor in fleet:
             if actor.is_alive():
                 actor.stop()
-        for actor in self.actors:
+        for actor in fleet:
             actor.join(timeout=2.0)
 
     def _reject_leftovers(self) -> None:
@@ -804,6 +1083,7 @@ class ServiceDaemon:
             if record is None or record.done:
                 continue
             record.done = True
+            self._pending.pop(record.request.id, None)
             if not record.future.done():
                 record.future.set_result(
                     error_response(

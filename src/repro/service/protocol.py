@@ -38,6 +38,8 @@ ERROR_CODES = (
     "queue_full",
     "draining",
     "timeout",
+    "deadline_exceeded",
+    "circuit_open",
     "worker_crashed",
     "evaluation_failed",
 )
@@ -83,13 +85,20 @@ class ServiceRequest:
         every process of one tenant should send the same value.
     id:
         Request id; assigned by the daemon when empty, and echoed in the
-        response and the journal.
+        response and the journal.  A client that mints its own stable id
+        can safely resend the request after a connection loss: the
+        daemon deduplicates by id (idempotency key).
+    deadline_s:
+        Optional end-to-end deadline, in seconds from admission.  Work
+        still queued past its deadline is shed with ``deadline_exceeded``
+        instead of being dispatched; actors re-check before executing.
     """
 
     kind: str
     payload: Dict[str, Any] = field(default_factory=dict)
     client: str = "anon"
     id: str = ""
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -100,14 +109,24 @@ class ServiceRequest:
             raise ProtocolError("payload must be a JSON object")
         if not self.client or not isinstance(self.client, str):
             raise ProtocolError("client must be a non-empty string")
+        if self.deadline_s is not None:
+            try:
+                self.deadline_s = float(self.deadline_s)
+            except (TypeError, ValueError):
+                raise ProtocolError("deadline_s must be a number") from None
+            if self.deadline_s <= 0:
+                raise ProtocolError(f"deadline_s must be > 0, got {self.deadline_s}")
 
     def to_wire(self) -> Dict[str, Any]:
-        return {
+        message: Dict[str, Any] = {
             "kind": self.kind,
             "payload": self.payload,
             "client": self.client,
             "id": self.id,
         }
+        if self.deadline_s is not None:
+            message["deadline_s"] = self.deadline_s
+        return message
 
     @classmethod
     def from_wire(cls, message: Dict[str, Any]) -> "ServiceRequest":
@@ -118,6 +137,7 @@ class ServiceRequest:
             payload=message.get("payload") or {},
             client=message.get("client") or "anon",
             id=str(message.get("id") or ""),
+            deadline_s=message.get("deadline_s"),
         )
 
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 #: Default bound on queued (not yet dispatched) requests.
 DEFAULT_MAX_DEPTH = 64
@@ -177,6 +177,30 @@ class FairQueue:
         while self._depth:
             items.append(self.pop())
         return items
+
+    def shed(self, predicate: Callable[[Any], bool]) -> List[Any]:
+        """Remove and return every queued item matching ``predicate``.
+
+        Used by the daemon to evict dead weight — expired-deadline or
+        already-done records — *before* rejecting new work: an entry that
+        will never be dispatched should not hold a queue slot against
+        live traffic.  Fair-scheduling state (virtual clock, finish tags)
+        is untouched; surviving entries keep their order.
+        """
+        shed: List[Any] = []
+        for entries in self._queues.values():
+            kept: Deque[_Entry] = deque()
+            for entry in entries:
+                if predicate(entry.item):
+                    shed.append(entry.item)
+                else:
+                    kept.append(entry)
+            if len(kept) != len(entries):
+                entries.clear()
+                entries.extend(kept)
+        self._depth -= len(shed)
+        self.popped += len(shed)
+        return shed
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:

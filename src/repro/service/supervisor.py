@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
+from repro import chaos
 from repro.api.store import atomic_write_json
 from repro.service.protocol import ServiceRequest, error_response
 
@@ -64,16 +65,20 @@ class Journal:
         """Persist one admitted request (idempotent per id)."""
         if self.root is None:
             return
-        atomic_write_json(
-            self._path(request.id),
-            {
-                "id": request.id,
-                "kind": request.kind,
-                "client": request.client,
-                "payload": request.payload,
-                "accepted_at": accepted_at,
-            },
-        )
+        entry = {
+            "id": request.id,
+            "kind": request.kind,
+            "client": request.client,
+            "payload": request.payload,
+            "accepted_at": accepted_at,
+        }
+        if chaos.fault("journal.torn_write") is not None:
+            # Simulated torn write: truncated JSON landing without the
+            # atomic rename — exactly what a crash mid-write leaves behind.
+            text = json.dumps(entry)
+            self._path(request.id).write_text(text[: max(1, len(text) // 2)])
+            return
+        atomic_write_json(self._path(request.id), entry)
 
     def discard(self, request_id: str) -> None:
         """Forget one finished request."""
@@ -122,6 +127,12 @@ class Supervisor:
         the default of 1 means "retried exactly once, then failed".
     heartbeat_timeout:
         An alive-but-silent actor is reported as stalled beyond this.
+    quarantine_after:
+        A busy actor heartbeat-silent beyond this is *quarantined*: a
+        replacement is spawned in its fleet slot so capacity is restored,
+        while the wedged thread keeps running outside dispatch (Python
+        threads cannot be killed).  ``None`` derives 4x the heartbeat
+        timeout — long legitimate renders stall first, quarantine later.
     """
 
     def __init__(
@@ -130,15 +141,22 @@ class Supervisor:
         interval: float = 0.05,
         max_retries: int = 1,
         heartbeat_timeout: float = 5.0,
+        quarantine_after: Optional[float] = None,
     ) -> None:
         self.daemon = daemon
         self.interval = interval
         self.max_retries = max_retries
         self.heartbeat_timeout = heartbeat_timeout
+        self.quarantine_after = (
+            4.0 * heartbeat_timeout if quarantine_after is None else quarantine_after
+        )
         self.restarts = 0
         self.retried = 0
         self.dropped = 0
+        #: Stall *incidents*, not sweeps: a wedged actor counts once per
+        #: incident and is re-armed when its heartbeat recovers.
         self.stalled = 0
+        self.quarantined = 0
         self._stopping = False
 
     def stop(self) -> None:
@@ -158,19 +176,39 @@ class Supervisor:
                 continue
             if not actor.is_alive() and actor.ident is not None:
                 self._restart(position, actor)
-            elif (
-                actor.is_alive()
-                and actor.busy
-                and actor.heartbeat_age() > self.heartbeat_timeout
-            ):
-                # Visibility only: threads cannot be killed, and the
-                # per-request timeout already owns the client outcome.
-                self.stalled += 1
-                self.daemon.log_event(
-                    "actor_stalled",
-                    actor=actor.name,
-                    heartbeat_age_s=round(actor.heartbeat_age(), 3),
-                )
+                continue
+            age = actor.heartbeat_age()
+            if actor.is_alive() and actor.busy and age > self.heartbeat_timeout:
+                if not actor.stall_flagged:
+                    # One incident, counted once; threads cannot be
+                    # killed, and the per-request timeout still owns the
+                    # client outcome.
+                    actor.stall_flagged = True
+                    self.stalled += 1
+                    self.daemon.log_event(
+                        "actor_stalled",
+                        actor=actor.name,
+                        heartbeat_age_s=round(age, 3),
+                    )
+                if age > self.quarantine_after and not actor.quarantined:
+                    # Wedged beyond doubt: restore fleet capacity by
+                    # replacing the slot; the stuck thread is tracked and
+                    # excluded from dispatch until it completes or dies.
+                    self.quarantined += 1
+                    self.daemon.log_event(
+                        "actor_quarantined",
+                        actor=actor.name,
+                        heartbeat_age_s=round(age, 3),
+                        request=(
+                            actor.current.request.id
+                            if actor.current is not None
+                            else None
+                        ),
+                    )
+                    self.daemon.quarantine_actor(position, actor)
+            elif actor.stall_flagged:
+                actor.stall_flagged = False
+                self.daemon.log_event("actor_recovered", actor=actor.name)
 
     def _restart(self, position: int, actor) -> None:
         """Replace one dead actor and re-admit (or fail) its request."""
@@ -190,6 +228,7 @@ class Supervisor:
         # accounting open, so settle it here — either back into the queue
         # or as a terminal failure.
         self.daemon.settle_crashed(record)
+        self.daemon.breaker.record_failure(record.request.kind)
         if record.attempts <= self.max_retries:
             self.retried += 1
             self.daemon.log_event(
@@ -216,6 +255,7 @@ class Supervisor:
             "retried": self.retried,
             "dropped": self.dropped,
             "stalled": self.stalled,
+            "quarantined": self.quarantined,
         }
 
 

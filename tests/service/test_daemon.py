@@ -132,7 +132,7 @@ class TestSupervision:
             assert supervision["dropped"] == 0
             # The fleet healed: health is green again.
             assert wait_until(
-                lambda: handle.daemon.healthz()["status"] == "ok", timeout=5
+                lambda: handle.daemon.healthz()["status"] == "healthy", timeout=5
             )
             events = [e["event"] for e in handle.daemon.events]
             assert "actor_restart" in events and "request_retried" in events
@@ -267,7 +267,7 @@ class TestTelemetry:
         try:
             assert submit_async(handle, "sleep", {"seconds": 0.0}).result(5).ok
             health = scrape_http(handle.address, "/healthz")
-            assert health["status"] == "ok"
+            assert health["status"] == "healthy"
             assert health["actors_alive"] == 2
             metrics = scrape_http(handle.address, "/metrics")
             assert metrics["requests"]["completed"] == 1
@@ -293,7 +293,7 @@ class TestProtocolOverSockets:
                 assert (
                     first.result["image_sha256"] == second.result["image_sha256"]
                 )
-                assert client.health()["status"] == "ok"
+                assert client.health()["status"] == "healthy"
                 assert client.metrics()["requests"]["completed"] == 2
         finally:
             handle.stop()
@@ -323,7 +323,7 @@ class TestProtocolOverSockets:
             assert handle.address == ("unix", path)
             with handle.client(client="unix") as client:
                 assert client.submit("sleep", {"seconds": 0.0}).ok
-            assert scrape_http(handle.address, "/healthz")["status"] == "ok"
+            assert scrape_http(handle.address, "/healthz")["status"] == "healthy"
         finally:
             handle.stop()
             handle.join()
